@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table/figure of EXPERIMENTS.md: it runs the
+experiment once inside pytest-benchmark (rounds=1 — these are wall-clock
+simulations, not microbenchmarks), prints the rows the paper's panel/table
+would show, and asserts the expected qualitative shape.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit(title: str, text: str) -> None:
+    """Print a regenerated artifact with a banner (shown with pytest -s)."""
+    banner = "=" * 78
+    print(f"\n{banner}\n{title}\n{banner}\n{text}\n")

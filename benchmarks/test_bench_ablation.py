@@ -1,0 +1,30 @@
+"""EXP-ABL: ablation of the 2PL deadlock-handling strategy.
+
+Expected shape: only detection reports deadlocks; only timeout reports
+lock-wait timeouts as its primary mechanism; wait-die reports deaths;
+wound-wait reports wounds.  All strategies keep the system live (every
+transaction finishes one way or the other).
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import ablation
+
+
+def test_deadlock_ablation_table(benchmark):
+    table = run_once(benchmark, ablation.run, n_txns=120)
+    emit(table.title, table.to_text())
+    rows = {row["strategy"]: row for row in table.rows}
+
+    # Each strategy exercises its own mechanism (and only its own).
+    assert rows["detect"]["deadlocks"] > 0
+    assert rows["timeout"]["deadlocks"] == 0
+    assert rows["timeout"]["timeouts"] > 0
+    assert rows["wait_die"]["deaths"] > 0
+    assert rows["wait_die"]["deadlocks"] == 0
+    assert rows["wound_wait"]["wounds"] > 0
+    assert rows["wound_wait"]["deaths"] == 0
+
+    # Liveness: every strategy commits a useful share of the workload.
+    for strategy, row in rows.items():
+        assert row["commit_rate"] > 0.1, strategy
+        assert row["throughput"] > 0.0, strategy

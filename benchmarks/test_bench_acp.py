@@ -1,0 +1,41 @@
+"""EXP-ACP: 2PC blocking vs 3PC termination under coordinator crashes.
+
+Expected shape: with the coordinator crashed right after unanimous YES
+votes, 2PC participants stay blocked (orphans) for the whole outage and
+only resolve (to presumed abort) after recovery; 3PC participants decide
+during the outage via the termination protocol — abort if uncertain,
+commit if precommitted.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import acp_blocking
+
+
+def test_acp_blocking_table(benchmark):
+    outage = 300.0
+    table = run_once(benchmark, acp_blocking.run, outage=outage)
+    emit(table.title, table.to_text())
+    rows = {(row["acp"], row["failpoint"]): row for row in table.rows}
+
+    two_pc = rows[("2PC", "after_votes")]
+    three_pc_votes = rows[("3PC", "after_votes")]
+    three_pc_pre = rows[("3PC", "after_precommit")]
+
+    # All scenarios actually produced prepared-but-undecided participants.
+    assert two_pc["orphans_peak"] >= 1
+    assert three_pc_votes["orphans_peak"] >= 0
+
+    # 2PC blocks for the whole outage; the decision is presumed abort.
+    assert two_pc["decided_during_outage"] is False
+    assert two_pc["blocked_time"] >= outage
+    assert two_pc["outcome"] == "ABORT"
+
+    # 3PC terminates within its uncertainty timeout, long before recovery.
+    assert three_pc_votes["decided_during_outage"] is True
+    assert three_pc_votes["blocked_time"] < outage / 2
+    assert three_pc_votes["outcome"] == "ABORT"
+
+    # Past the precommit point, termination *commits* without the coordinator.
+    assert three_pc_pre["decided_during_outage"] is True
+    assert three_pc_pre["outcome"] == "COMMIT"
+    assert three_pc_pre["blocked_time"] < outage / 2

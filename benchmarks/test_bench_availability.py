@@ -1,0 +1,46 @@
+"""EXP-AVAIL: commit rate under site failures — the availability argument.
+
+Expected shape: both protocols commit well with no faults; as MTTF drops,
+ROWA's commit rate collapses (write-all needs every copy up) with RCP
+aborts dominating, while QC degrades gracefully with near-zero RCP aborts.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import availability
+
+
+def test_availability_table(benchmark):
+    table = run_once(
+        benchmark,
+        availability.run,
+        mttfs=(None, 600.0, 300.0, 150.0),
+        n_txns=120,
+        repetitions=3,  # average out fault-schedule noise
+    )
+    emit(table.title, table.to_text())
+
+    def series(rcp):
+        return {row["mttf"]: row for row in table.rows if row["rcp"] == rcp}
+
+    rowa, rowaa, qc = series("ROWA"), series("ROWAA"), series("QC")
+
+    # Fault-free: both healthy.
+    assert rowa["inf"]["commit_rate"] > 0.7
+    assert qc["inf"]["commit_rate"] > 0.7
+    assert rowa["inf"]["rcp_abort_rate"] == 0.0
+
+    # Failures hurt both, ROWA much more; averaged over seeds the decay is
+    # monotone in failure intensity.
+    assert rowa["inf"]["commit_rate"] > rowa[600.0]["commit_rate"]
+    assert rowa[600.0]["commit_rate"] > rowa[300.0]["commit_rate"]
+    assert rowa[300.0]["commit_rate"] > rowa[150.0]["commit_rate"]
+    assert qc[150.0]["commit_rate"] < qc["inf"]["commit_rate"]
+    for mttf in (600.0, 300.0, 150.0):
+        assert qc[mttf]["commit_rate"] > rowa[mttf]["commit_rate"], mttf
+        # ROWA's extra aborts are RCP (write-all unattainable); QC barely
+        # ever fails to build a quorum with majorities intact.
+        assert rowa[mttf]["rcp_abort_rate"] > qc[mttf]["rcp_abort_rate"]
+        # Available copies tolerates crashes at least as well as ROWA.
+        assert rowaa[mttf]["commit_rate"] >= rowa[mttf]["commit_rate"]
+        assert rowaa[mttf]["rcp_abort_rate"] <= rowa[mttf]["rcp_abort_rate"]
+    assert rowa[150.0]["rcp_abort_rate"] > 0.3

@@ -1,0 +1,22 @@
+"""EXP-LB: load balance/imbalance indicators.
+
+Expected shape: round-robin home selection is perfectly balanced (CV = 0);
+the weighted policy concentrates home transactions on the heavy site and
+drives the imbalance coefficient up.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import load_balance
+
+
+def test_load_balance_table(benchmark):
+    table = run_once(benchmark, load_balance.run, n_txns=120)
+    emit(table.title, table.to_text())
+    rows = {row["policy"]: row for row in table.rows}
+
+    assert rows["round_robin"]["imbalance_cv"] == 0.0
+    assert rows["round_robin"]["max_site_share"] == 0.25
+
+    assert rows["weighted"]["imbalance_cv"] > 0.5
+    assert rows["weighted"]["max_site_share"] > 0.5
+    assert rows["weighted"]["imbalance_cv"] > rows["round_robin"]["imbalance_cv"]

@@ -1,0 +1,35 @@
+"""EXP-MATRIX: every Figure-4 protocol combination, one table.
+
+Supplementary to the paper's figures: runs the identical workload under
+all RCP × CCP × ACP combinations.  The hard assertion: every combination
+commits work and produces a one-copy-serializable committed history — the
+"minimum interdependencies" modularity claim of §2.1, tested.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import protocol_matrix
+
+
+def test_protocol_matrix_table(benchmark):
+    table = run_once(benchmark, protocol_matrix.run, n_txns=30)
+    emit(table.title, table.to_text())
+
+    assert len(table.rows) == 3 * 4 * 2  # RCPs x CCPs x ACPs
+    for row in table.rows:
+        label = f"{row['rcp']}+{row['ccp']}+{row['acp']}"
+        assert row["serializable"] is True, label
+        assert row["commit_rate"] > 0.3, label
+        assert row["msgs_per_txn"] > 0, label
+
+    # 3PC always costs more messages than 2PC, everything else equal.
+    for rcp in ("ROWA", "ROWAA", "QC"):
+        for ccp in ("2PL", "TSO", "MVTO", "OCC"):
+            two = next(
+                r for r in table.rows
+                if (r["rcp"], r["ccp"], r["acp"]) == (rcp, ccp, "2PC")
+            )
+            three = next(
+                r for r in table.rows
+                if (r["rcp"], r["ccp"], r["acp"]) == (rcp, ccp, "3PC")
+            )
+            assert three["msgs_per_txn"] > two["msgs_per_txn"], f"{rcp}+{ccp}"

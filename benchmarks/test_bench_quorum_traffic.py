@@ -1,0 +1,44 @@
+"""EXP-QCMSG: quorum-consensus message traffic vs ROWA (the §3/[3] study).
+
+Expected shape assertions:
+* write-heavy: ROWA's per-transaction message cost grows faster with the
+  replication degree than QC's, and QC wins at the highest degree;
+* read-heavy: ROWA stays cheaper than QC at the highest degree;
+* both: message cost increases with replication degree.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import quorum_traffic
+
+
+def test_quorum_traffic_table(benchmark):
+    table = run_once(
+        benchmark,
+        quorum_traffic.run,
+        degrees=(1, 3, 5, 7),
+        read_fractions=(0.2, 0.8),
+        n_txns=120,
+    )
+    emit(table.title, table.to_text())
+
+    def series(rcp, rf):
+        return {
+            row["degree"]: row["msgs_per_txn"]
+            for row in table.rows
+            if row["rcp"] == rcp and row["read_fraction"] == rf
+        }
+
+    rowa_w, qc_w = series("ROWA", 0.2), series("QC", 0.2)
+    rowa_r, qc_r = series("ROWA", 0.8), series("QC", 0.8)
+
+    # Costs grow with replication degree for the replicated protocols.
+    assert rowa_w[7] > rowa_w[1]
+    assert qc_w[7] > qc_w[1]
+
+    # Write-heavy: QC beats ROWA at high degree, and ROWA's growth from
+    # degree 1 to 7 is steeper.
+    assert qc_w[7] < rowa_w[7]
+    assert (rowa_w[7] - rowa_w[1]) > (qc_w[7] - qc_w[1])
+
+    # Read-heavy: ROWA (read-one) beats QC (read-quorum) at high degree.
+    assert rowa_r[7] < qc_r[7]

@@ -1,0 +1,30 @@
+"""EXP-SCALE: throughput and response time vs number of sites.
+
+Expected shape: with per-site load held constant, throughput grows with
+the site count from the 2-site replicated baseline upward, while the mean
+response time stays within a narrow band; per-transaction message cost
+grows with the domain size.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import scalability
+
+
+def test_scalability_table(benchmark):
+    table = run_once(benchmark, scalability.run, site_counts=(1, 2, 4, 8))
+    emit(table.title, table.to_text())
+    by_sites = {row["sites"]: row for row in table.rows}
+
+    # Scale-out: throughput grows monotonically from 2 sites upward.
+    assert by_sites[4]["throughput"] > by_sites[2]["throughput"]
+    assert by_sites[8]["throughput"] > by_sites[4]["throughput"]
+
+    # Response time stays in a band (no collapse) as the system grows.
+    assert by_sites[8]["mean_rt"] < 3 * by_sites[2]["mean_rt"]
+
+    # Replication/coordination cost: messages per txn grow with the domain.
+    assert by_sites[8]["msgs_per_txn"] > by_sites[2]["msgs_per_txn"]
+
+    # The 1-site baseline runs without any replication messages to speak of.
+    assert by_sites[1]["msgs_per_txn"] < by_sites[2]["msgs_per_txn"]
+    assert all(row["commit_rate"] > 0.5 for row in table.rows)

@@ -1,0 +1,41 @@
+"""EXP-FIG5: a full default session and its Tx Processing output panel.
+
+Regenerates Figure 5: the §3 output-statistics block plus recent
+per-transaction rows after a 200-transaction session under the default
+protocol stack (QC + 2PL + 2PC).
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import session
+
+
+def test_fig5_session_output(benchmark):
+    result, panel, instance = run_once(benchmark, session.run, n_txns=200)
+    emit("Figure 5 — Transaction processing output in a Rainbow session", panel)
+
+    stats = result.statistics
+    assert stats.finished == 200
+    assert stats.committed > 0.5 * stats.finished  # the default session mostly commits
+    assert stats.commit_rate + stats.abort_rate == 1.0
+    assert stats.messages_total > 0
+    assert stats.round_trips > 0
+    assert stats.mean_response_time is not None
+    # Every §3 statistic is present in the panel.
+    for label in (
+        "Committed transactions",
+        "aborts due to RCP",
+        "aborts due to CCP",
+        "aborts due to ACP",
+        "Commit rate",
+        "Throughput",
+        "Messages per time unit",
+        "Round-trip messages",
+        "Mean response time",
+        "Orphan transactions",
+        "Load imbalance",
+    ):
+        assert label in panel
+    # The committed history is one-copy serializable.
+    assert result.serializable is True
+    # The Display-menu time series was sampled.
+    assert len(instance.monitor.series["t"]) > 3

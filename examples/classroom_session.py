@@ -1,0 +1,114 @@
+"""A classroom session, exactly as §4/§5 of the paper stage it.
+
+The TA (administrator) sets up the Rainbow domain and the name server; a
+student then downloads the GUI applet from the Rainbow home URL, logs in,
+inspects the configuration, composes manual transactions, injects a site
+failure and a recovery, and reads the statistics — all through the web
+middle tier, never talking to any host but the Rainbow home.
+
+The second half is the term-project exercise: the same scenario re-run
+with 2PC swapped for 3PC, showing orphan transactions disappearing.
+
+Run:  python examples/classroom_session.py
+"""
+
+from repro.core import RainbowConfig, RainbowInstance
+from repro.gui import (
+    GuiApplet,
+    render_login_panel,
+    render_manual_workload_panel,
+    render_physical_architecture,
+)
+from repro.txn import Operation, Transaction
+from repro.web import RainbowWebTier
+
+
+def build_domain(acp: str) -> tuple[RainbowInstance, RainbowWebTier]:
+    """The TA's tasks: install Rainbow, start runners, configure NS."""
+    config = RainbowConfig.quick(
+        n_sites=4, n_items=8, replication_degree=3, sites_per_host=2
+    )
+    config.protocols.acp = acp
+    config.uncertainty_timeout = 25.0
+    config.decision_retry = 10.0
+    instance = RainbowInstance(config)
+    instance.start()
+    tier = RainbowWebTier(instance)  # ServletRunner on every domain host
+    return instance, tier
+
+
+def student_session(instance: RainbowInstance, tier: RainbowWebTier, acp: str) -> None:
+    applet = GuiApplet(tier)
+    print(f"Student opens {applet.url}")
+    applet.download_page()
+    role = applet.login("student", "student")
+    print(render_login_panel(tier.home_host, applet.url, logged_in_as=role))
+
+    sites = [info["name"] for info in applet.lookup_sites()]
+    print(f"\nRegistered sites: {sites}")
+
+    # Compose two conflicting transactions in the manual panel.
+    t1 = Transaction(
+        ops=[Operation.read("x1"), Operation.write("x2", 10)], home_site="site1"
+    )
+    t2 = Transaction(
+        ops=[Operation.read("x2"), Operation.write("x1", 20)], home_site="site3"
+    )
+    print()
+    print(render_manual_workload_panel([t1, t2]))
+    out1 = applet.submit_transaction(t1)
+    out2 = applet.submit_transaction(t2)
+    print(
+        render_manual_workload_panel(
+            [t1, t2], {t1.txn_id: out1["status"], t2.txn_id: out2["status"]}
+        )
+    )
+    print(f"T{t1.txn_id} read {out1['reads']}; T{t2.txn_id} read {out2['reads']}")
+
+    # Inject a failure mid-lecture, then a recovery.
+    print(f"\nInjecting failure: crash site2 -> {applet.crash_site('site2')}")
+    t3 = Transaction(ops=[Operation.write("x1", 30)], home_site="site1")
+    out3 = applet.submit_transaction(t3)
+    print(f"T{t3.txn_id} while site2 is down ({acp}): {out3['status']}")
+    print(f"Recovering site2 -> {applet.recover_site('site2')}")
+    instance.sim.run(until=instance.sim.now + 100)
+
+    stats = applet.statistics()
+    print(
+        f"\nSession stats: committed={stats['committed']} "
+        f"aborted={stats['aborted']} (by cause {stats['aborts_by_cause']}) "
+        f"orphan events={stats['orphan_events']}"
+    )
+    from repro.gui import render_sites_panel, render_traffic_panel
+
+    print()
+    print(render_sites_panel(instance.sites.values()))
+    print()
+    print(render_traffic_panel(instance.network.stats, top=6))
+    applet.logout()
+
+
+def main() -> None:
+    for acp in ("2PC", "3PC"):
+        print("=" * 72)
+        print(f"Classroom session with ACP = {acp}")
+        print("=" * 72)
+        instance, tier = build_domain(acp)
+        print(
+            render_physical_architecture(
+                tier.placement_table(),
+                sites_by_host={
+                    host: sorted(
+                        s.name for s in instance.sites.values() if s.host == host
+                    )
+                    for host in {s.host for s in instance.sites.values()}
+                },
+                ns_host=instance.nameserver.host,
+            )
+        )
+        student_session(instance, tier, acp)
+        print()
+
+
+if __name__ == "__main__":
+    main()

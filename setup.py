@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This environment has no network access and no ``wheel`` package, so PEP 660
+editable installs cannot build. Keeping a ``setup.py`` (and no
+``[build-system]`` table in pyproject.toml) lets ``pip install -e .`` fall
+back to the legacy ``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""Rainbow: a distributed database system for classroom education and
+experimental research (Helal & Li, VLDB 2000) — Python reproduction.
+
+The public API is re-exported here; see README.md for the quickstart and
+DESIGN.md for the architecture.  Importing :mod:`repro` registers the stock
+protocols (ROWA/ROWAA/QC, 2PL/TSO/MVTO/OCC, 2PC/3PC) in the protocol
+registries; importing :mod:`repro.classroom` additionally registers the
+deliberately broken NOCC demo protocol.
+"""
+
+import repro.protocols  # noqa: F401 - side effect: register stock protocols
+
+from repro.core.config import (
+    FaultConfig,
+    NetworkConfig,
+    ProtocolConfig,
+    RainbowConfig,
+    SiteConfig,
+)
+from repro.core.instance import RainbowInstance, SessionResult
+from repro.errors import (
+    CatalogError,
+    CommitAbort,
+    ConcurrencyAbort,
+    ConfigurationError,
+    RainbowError,
+    ReplicationAbort,
+    TransactionAborted,
+    WorkloadError,
+)
+from repro.txn.transaction import Operation, OpKind, Transaction, TxnStatus
+from repro.workload.generator import ManualWorkload, WorkloadGenerator
+from repro.workload.spec import WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CatalogError",
+    "CommitAbort",
+    "ConcurrencyAbort",
+    "ConfigurationError",
+    "FaultConfig",
+    "ManualWorkload",
+    "NetworkConfig",
+    "OpKind",
+    "Operation",
+    "ProtocolConfig",
+    "RainbowConfig",
+    "RainbowError",
+    "RainbowInstance",
+    "ReplicationAbort",
+    "SessionResult",
+    "SiteConfig",
+    "Transaction",
+    "TransactionAborted",
+    "TxnStatus",
+    "WorkloadError",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "__version__",
+]

@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``quickstart`` — run the default session and print the Figure-5 panel.
+* ``experiment <id>`` — regenerate one experiment table (EXPERIMENTS.md
+  ids: qcmsg, avail, ccp, scale, acp, lb, abl) and print it; ``--csv FILE``
+  additionally exports it.
+* ``classroom [name]`` — run all (or one) lab assignment and print the
+  reports.
+* ``panels`` — print the configuration panels of the default instance.
+* ``list`` — list experiments and assignments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+from repro.experiments import (
+    ablation,
+    acp_blocking,
+    availability,
+    ccp_contention,
+    load_balance,
+    protocol_matrix,
+    quorum_traffic,
+    scalability,
+    session,
+)
+
+EXPERIMENTS: dict[str, Callable] = {
+    "qcmsg": quorum_traffic.run,
+    "avail": availability.run,
+    "ccp": ccp_contention.run,
+    "scale": scalability.run,
+    "acp": acp_blocking.run,
+    "lb": load_balance.run,
+    "abl": ablation.run,
+    "matrix": protocol_matrix.run,
+}
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    result, panel, instance = session.run(n_txns=args.transactions)
+    print(panel)
+    print(f"\nserializable: {result.serializable}")
+    if args.chart:
+        from repro.gui.charts import series_chart
+
+        print()
+        print(series_chart(instance.monitor.series, "committed",
+                           title="Committed transactions over time"))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    run = EXPERIMENTS.get(args.id)
+    if run is None:
+        print(f"unknown experiment {args.id!r}; try: {', '.join(sorted(EXPERIMENTS))}")
+        return 2
+    table = run()
+    print(table.to_text())
+    if args.csv:
+        from repro.monitor.export import table_to_csv
+
+        table_to_csv(table, args.csv)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.monitor.report import session_report
+    from repro.monitor.tracing import ExecutionTracer
+    from repro.workload.spec import WorkloadSpec
+
+    from repro.experiments.common import build_instance
+
+    instance = build_instance(4, 64, 3, seed=args.seed, sample_interval=25.0)
+    instance.start()
+    tracer = ExecutionTracer(instance.sim)
+    tracer.attach_all(instance)
+    result = instance.run_workload(
+        WorkloadSpec(
+            n_transactions=args.transactions,
+            arrival="poisson",
+            arrival_rate=0.5,
+            min_ops=3,
+            max_ops=6,
+            read_fraction=0.7,
+        )
+    )
+    report = session_report(instance, result, tracer=tracer)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_classroom(args: argparse.Namespace) -> int:
+    from repro.classroom import all_assignments
+
+    failures = 0
+    for factory in all_assignments():
+        if args.name and factory.__name__ != f"assignment_{args.name.replace('-', '_')}":
+            continue
+        report = factory()
+        print(report.render())
+        print()
+        if not report.passed:
+            failures += 1
+    return 1 if failures else 0
+
+
+def _cmd_panels(_args: argparse.Namespace) -> int:
+    from repro.core.config import RainbowConfig
+    from repro.core.instance import RainbowInstance
+    from repro.gui.panels import (
+        render_functional_architecture,
+        render_protocol_panel,
+        render_replication_panel,
+    )
+
+    config = RainbowConfig.quick(n_sites=4, n_items=8, replication_degree=3)
+    instance = RainbowInstance(config)
+    print(render_functional_architecture())
+    print()
+    print(render_protocol_panel(config.protocols))
+    print()
+    print(render_replication_panel(instance.catalog))
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from repro.classroom import all_assignments
+
+    print("experiments:")
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name}")
+    print("assignments:")
+    for factory in all_assignments():
+        print(f"  {factory.__name__.removeprefix('assignment_').replace('_', '-')}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rainbow distributed database (VLDB 2000) — reproduction CLI",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    quickstart = commands.add_parser("quickstart", help="run the default session")
+    quickstart.add_argument("--transactions", type=int, default=200)
+    quickstart.add_argument("--chart", action="store_true",
+                            help="also print the commit time-series chart")
+    quickstart.set_defaults(fn=_cmd_quickstart)
+
+    experiment = commands.add_parser("experiment", help="regenerate one experiment")
+    experiment.add_argument("id", help=f"one of: {', '.join(sorted(EXPERIMENTS))}")
+    experiment.add_argument("--csv", default=None, help="export the table as CSV")
+    experiment.set_defaults(fn=_cmd_experiment)
+
+    report = commands.add_parser("report", help="run a session, emit a markdown report")
+    report.add_argument("--transactions", type=int, default=100)
+    report.add_argument("--seed", type=int, default=7)
+    report.add_argument("--out", default=None, help="write the report to a file")
+    report.set_defaults(fn=_cmd_report)
+
+    classroom = commands.add_parser("classroom", help="run lab assignments")
+    classroom.add_argument("name", nargs="?", default=None)
+    classroom.set_defaults(fn=_cmd_classroom)
+
+    panels = commands.add_parser("panels", help="print the configuration panels")
+    panels.set_defaults(fn=_cmd_panels)
+
+    listing = commands.add_parser("list", help="list experiments and assignments")
+    listing.set_defaults(fn=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

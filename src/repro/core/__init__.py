@@ -1,0 +1,20 @@
+"""Rainbow core: configuration and the runnable instance."""
+
+from repro.core.config import (
+    FaultConfig,
+    NetworkConfig,
+    ProtocolConfig,
+    RainbowConfig,
+    SiteConfig,
+)
+from repro.core.instance import RainbowInstance, SessionResult
+
+__all__ = [
+    "FaultConfig",
+    "NetworkConfig",
+    "ProtocolConfig",
+    "RainbowConfig",
+    "RainbowInstance",
+    "SessionResult",
+    "SiteConfig",
+]

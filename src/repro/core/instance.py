@@ -1,0 +1,287 @@
+"""A Rainbow instance: bring-up, sessions, and results.
+
+:class:`RainbowInstance` materialises a :class:`~repro.core.config.RainbowConfig`
+into a running system in the paper's order: network simulation → name server
+→ sites (with their local copies) → protocols → fault plan.  It then runs
+*sessions*: a workload is submitted (simulated or manual), the simulation is
+driven until the workload and a settle window complete, and the progress
+monitor's statistics are packaged into a :class:`SessionResult`.
+
+Bring-up is faithful to the paper: the administrator registers sites with
+the name server, then every site *queries the name server over the network*
+for the site directory and the fragmentation/replication schema ("Any site
+can query the name server to get pertinent information").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.config import RainbowConfig
+from repro.errors import ConfigurationError, NetworkError, RpcTimeout
+from repro.monitor.stats import OutputStatistics, ProgressMonitor
+from repro.nameserver.catalog import Catalog
+from repro.nameserver.server import NameServer
+from repro.net.faults import FaultEvent, FaultInjector
+from repro.net.message import MessageType
+from repro.net.network import Network
+from repro.sim.kernel import Process, Simulator
+from repro.sim.randoms import RandomStreams
+from repro.site.site import Site
+from repro.txn.coordinator import CoordinatorConfig, TxnContext, run_transaction
+from repro.txn.transaction import Transaction
+from repro.workload.generator import ManualWorkload, SubmissionOutcome, WorkloadGenerator
+from repro.workload.spec import WorkloadSpec
+
+__all__ = ["SessionResult", "RainbowInstance"]
+
+_wlg_counter = itertools.count(1)
+
+
+@dataclass
+class SessionResult:
+    """Everything one Rainbow session produced."""
+
+    statistics: OutputStatistics
+    outcomes: list[SubmissionOutcome] = field(default_factory=list)
+    serializable: Optional[bool] = None
+    serialization_witness: Optional[list[int]] = None
+    serialization_cycle: Optional[list[int]] = None
+    fault_log: list[FaultEvent] = field(default_factory=list)
+    duration: float = 0.0
+
+    @property
+    def committed(self) -> int:
+        return self.statistics.committed
+
+    @property
+    def aborted(self) -> int:
+        return self.statistics.aborted
+
+
+class RainbowInstance:
+    """One configured, runnable Rainbow system."""
+
+    def __init__(self, config: RainbowConfig):
+        config.validate()
+        self.config = config
+        self.sim = Simulator()
+        self.streams = RandomStreams(config.seed)
+        self.network = Network(
+            self.sim,
+            config.network.build_latency_model(),
+            rng=self.streams.get("network"),
+            loss_rate=config.network.loss_rate,
+            host_service_time=config.network.host_service_time,
+        )
+        self.injector = FaultInjector(self.sim, self.network)
+        self.nameserver = NameServer(self.sim, self.network, config.nameserver_host)
+        self.nameserver.catalog = config.catalog()
+        self.catalog: Catalog = self.nameserver.catalog
+        self.injector.register(self.nameserver)
+
+        protocols = config.protocols
+        self.coordinator_config = CoordinatorConfig(
+            rcp=protocols.rcp,
+            acp=protocols.acp,
+            rcp_options=dict(protocols.rcp_options),
+            acp_options=dict(protocols.acp_options),
+            op_timeout=protocols.op_timeout,
+            vote_timeout=protocols.vote_timeout,
+            ack_timeout=protocols.ack_timeout,
+            ack_retries=protocols.ack_retries,
+        )
+
+        self.sites: dict[str, Site] = {}
+        for site_config in config.sites:
+            site = Site(
+                self.sim,
+                self.network,
+                site_config.name,
+                site_config.host,
+                ccp=protocols.ccp,
+                ccp_options=dict(protocols.ccp_options),
+                uncertainty_timeout=config.uncertainty_timeout,
+                decision_retry=config.decision_retry,
+                gc_interval=config.gc_interval,
+                gc_timeout=config.gc_timeout,
+                distributed_deadlock=config.distributed_deadlock,
+                probe_interval=config.probe_interval,
+                checkpoint_interval=config.checkpoint_interval,
+            )
+            for item_name in self.catalog.items_at(site_config.name):
+                site.store.create_copy(
+                    item_name, self.catalog.item(item_name).initial_value
+                )
+            site.coordinator_factory = self._coordinate
+            self.nameserver.register_site(site.name, site.address, site.host)
+            self.injector.register(site)
+            self.sites[site.name] = site
+
+        self.directory = {name: site.address for name, site in self.sites.items()}
+        self.monitor = ProgressMonitor(
+            self.sim,
+            self.network,
+            sites=self.sites.values(),
+            sample_interval=config.sample_interval,
+        )
+        self._started = False
+        self._session_counter = itertools.count(1)
+
+    # -- coordinator wiring --------------------------------------------------------
+    def _coordinate(self, site: Site, txn: Transaction):
+        """The generator each home site runs per transaction (its thread)."""
+        directory = getattr(site, "directory", None) or self.directory
+        catalog = getattr(site, "catalog_cache", None) or self.catalog
+        ctx = TxnContext(
+            txn, site, catalog, directory, self.coordinator_config, self.monitor
+        )
+        site.register_home_txn(txn.txn_id, ctx)
+        try:
+            status = yield from run_transaction(ctx)
+        finally:
+            site.unregister_home_txn(txn.txn_id)
+        return {
+            "status": status,
+            "cause": txn.abort_cause,
+            "txn_id": txn.txn_id,
+            "reads": dict(txn.reads),
+            "response_time": txn.response_time,
+        }
+
+    # -- bring-up ---------------------------------------------------------------------
+    def start(self) -> None:
+        """Bootstrap the domain: sites fetch metadata from the name server."""
+        if self._started:
+            return
+        bootstraps = [
+            self.sim.process(self._bootstrap_site(site), name=f"boot:{site.name}")
+            for site in self.sites.values()
+        ]
+        self.sim.run(until=self.sim.all_of(bootstraps))
+        self._apply_fault_plan()
+        self._started = True
+
+    def _bootstrap_site(self, site: Site):
+        try:
+            lookup = yield site.endpoint.request(
+                self.nameserver.address, MessageType.NS_LOOKUP, {}, timeout=30.0
+            )
+            site.directory = {
+                info["name"]: info["address"]
+                for info in (lookup.payload or {}).get("sites", [])
+            }
+            schema = yield site.endpoint.request(
+                self.nameserver.address, MessageType.NS_CATALOG, {}, timeout=30.0
+            )
+            site.catalog_cache = Catalog.from_dict(
+                (schema.payload or {}).get("catalog", {})
+            )
+        except (RpcTimeout, NetworkError):
+            # Name server unreachable at bring-up: fall back to the
+            # administrator's local copies (the instance owns them anyway).
+            site.directory = dict(self.directory)
+            site.catalog_cache = self.catalog
+
+    def _apply_fault_plan(self) -> None:
+        faults = self.config.faults
+        self.injector.apply_schedule(faults.schedule)
+        if faults.random_targets:
+            self.injector.random_crash_recover(
+                faults.random_targets,
+                faults.mttf,
+                faults.mttr,
+                self.streams.get("faults"),
+                until=faults.horizon,
+            )
+
+    # -- sessions ---------------------------------------------------------------------
+    def run_workload(self, spec: WorkloadSpec) -> SessionResult:
+        """Run a simulated-mode workload session and collect its results."""
+        self.start()
+        session = next(self._session_counter)
+        generator = WorkloadGenerator(
+            self.sim,
+            self.network,
+            self.directory,
+            self.catalog,
+            spec,
+            self.streams.get(f"workload-{session}"),
+            monitor=self.monitor,
+            name=f"wlg{session}",
+        )
+        process = generator.run()
+        self.sim.run(until=process)
+        self._settle()
+        return self.session_result(generator.outcomes)
+
+    def manual_workload(self) -> ManualWorkload:
+        """A manual-mode workload bound to this instance (Figure A-2 path)."""
+        self.start()
+        return ManualWorkload(
+            self.sim,
+            self.network,
+            self.directory,
+            monitor=self.monitor,
+            name=f"wlg-manual{next(_wlg_counter)}",
+        )
+
+    def run_manual(self, manual: ManualWorkload) -> SessionResult:
+        """Dispatch a prepared manual workload and collect the results."""
+        process = manual.run()
+        self.sim.run(until=process)
+        self._settle()
+        return self.session_result(manual.outcomes)
+
+    def submit(self, txn: Transaction) -> Process:
+        """Directly start ``txn`` at its home site (library/testing path).
+
+        Bypasses the WLG messages; the returned process ends with the
+        transaction's coordinator.
+        """
+        self.start()
+        try:
+            site = self.sites[txn.home_site]
+        except KeyError:
+            raise ConfigurationError(f"unknown home site {txn.home_site!r}") from None
+        self.monitor.txn_submitted(txn)
+        return site.spawn_home_transaction(
+            self._coordinate(site, txn), name=f"txn{txn.txn_id}@{site.name}"
+        )
+
+    def run_transactions(self, txns: Iterable[Transaction]) -> SessionResult:
+        """Submit transactions directly (all at once) and run to completion."""
+        processes = [self.submit(txn) for txn in txns]
+        if processes:
+            self.sim.run(until=self.sim.all_of(processes))
+        self._settle()
+        return self.session_result([])
+
+    def _settle(self) -> None:
+        if self.config.settle_time > 0:
+            self.sim.run(until=self.sim.now + self.config.settle_time)
+
+    # -- results ---------------------------------------------------------------------
+    def session_result(
+        self, outcomes: Optional[list[SubmissionOutcome]] = None
+    ) -> SessionResult:
+        """Package the monitor's view of the session so far."""
+        check = self.monitor.check_serializable()
+        serializable = witness = cycle = None
+        if check is not None:
+            serializable, order_or_cycle = check
+            if serializable:
+                witness = order_or_cycle
+            else:
+                cycle = order_or_cycle
+        return SessionResult(
+            statistics=self.monitor.output_statistics(),
+            outcomes=list(outcomes or []),
+            serializable=serializable,
+            serialization_witness=witness,
+            serialization_cycle=cycle,
+            fault_log=list(self.injector.log),
+            duration=self.sim.now,
+        )

@@ -1,0 +1,28 @@
+"""Experiment definitions — one module per table/figure in EXPERIMENTS.md."""
+
+from repro.experiments import (
+    ablation,
+    acp_blocking,
+    availability,
+    ccp_contention,
+    load_balance,
+    protocol_matrix,
+    quorum_traffic,
+    scalability,
+    session,
+)
+from repro.experiments.common import ExperimentTable, build_instance
+
+__all__ = [
+    "ExperimentTable",
+    "ablation",
+    "acp_blocking",
+    "availability",
+    "build_instance",
+    "ccp_contention",
+    "load_balance",
+    "protocol_matrix",
+    "quorum_traffic",
+    "scalability",
+    "session",
+]

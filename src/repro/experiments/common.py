@@ -1,0 +1,117 @@
+"""Shared experiment machinery: result tables and instance profiles.
+
+Every experiment module exposes a ``run(...)`` function returning an
+:class:`ExperimentTable` — the rows the corresponding benchmark prints.
+Experiments that inject failures use the *failure profile*: timeouts scaled
+down so that crash-induced waits are short relative to a session, the same
+way the paper's experiments configure their network simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.config import RainbowConfig
+from repro.core.instance import RainbowInstance
+
+__all__ = ["ExperimentTable", "build_instance", "FAILURE_TIMEOUTS"]
+
+#: Coordinator/site timeout overrides for failure experiments.
+FAILURE_TIMEOUTS = {
+    "op_timeout": 15.0,
+    "vote_timeout": 10.0,
+    "ack_timeout": 8.0,
+    "ack_retries": 2,
+    "ccp_wait_timeout": 10.0,
+    "uncertainty_timeout": 25.0,
+    "decision_retry": 10.0,
+    "gc_interval": 20.0,
+    "gc_timeout": 40.0,
+}
+
+
+@dataclass
+class ExperimentTable:
+    """A titled table of result rows (each row a dict)."""
+
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, **row: Any) -> None:
+        """Append one row (keys must match ``columns``)."""
+        missing = [col for col in self.columns if col not in row]
+        if missing:
+            raise ValueError(f"row missing columns {missing}")
+        self.rows.append(row)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        return [row[name] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Fixed-width rendering (what the benchmarks print)."""
+
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.3f}"
+            return str(value)
+
+        grid = [self.columns] + [[fmt(row[col]) for col in self.columns] for row in self.rows]
+        widths = [max(len(line[col]) for line in grid) for col in range(len(self.columns))]
+        lines = [self.title, "=" * len(self.title)]
+        for index, line in enumerate(grid):
+            lines.append(
+                "  ".join(cell.ljust(widths[col]) for col, cell in enumerate(line))
+            )
+            if index == 0:
+                lines.append("  ".join("-" * widths[col] for col in range(len(self.columns))))
+        if self.notes:
+            lines += ["", self.notes]
+        return "\n".join(lines)
+
+
+def build_instance(
+    n_sites: int,
+    n_items: int,
+    replication_degree: Optional[int] = None,
+    *,
+    rcp: str = "QC",
+    ccp: str = "2PL",
+    acp: str = "2PC",
+    ccp_options: Optional[dict] = None,
+    seed: int = 7,
+    failure_profile: bool = False,
+    settle_time: float = 60.0,
+    **config_overrides: Any,
+) -> RainbowInstance:
+    """Build a ready RainbowInstance for an experiment point."""
+    config = RainbowConfig.quick(
+        n_sites=n_sites,
+        n_items=n_items,
+        replication_degree=replication_degree,
+        seed=seed,
+        settle_time=settle_time,
+    )
+    config.protocols.rcp = rcp
+    config.protocols.ccp = ccp
+    config.protocols.acp = acp
+    if ccp_options:
+        config.protocols.ccp_options = dict(ccp_options)
+    if failure_profile:
+        config.protocols.op_timeout = FAILURE_TIMEOUTS["op_timeout"]
+        config.protocols.vote_timeout = FAILURE_TIMEOUTS["vote_timeout"]
+        config.protocols.ack_timeout = FAILURE_TIMEOUTS["ack_timeout"]
+        config.protocols.ack_retries = FAILURE_TIMEOUTS["ack_retries"]
+        config.protocols.ccp_options = {
+            "wait_timeout": FAILURE_TIMEOUTS["ccp_wait_timeout"]
+        }
+        config.uncertainty_timeout = FAILURE_TIMEOUTS["uncertainty_timeout"]
+        config.decision_retry = FAILURE_TIMEOUTS["decision_retry"]
+        config.gc_interval = FAILURE_TIMEOUTS["gc_interval"]
+        config.gc_timeout = FAILURE_TIMEOUTS["gc_timeout"]
+    for key, value in config_overrides.items():
+        setattr(config, key, value)
+    return RainbowInstance(config)

@@ -1,0 +1,59 @@
+"""EXP-LB: load balance/imbalance indicators.
+
+§3 lists "load balance/imbalance indicators" among the output statistics.
+This experiment contrasts a balanced home-site policy (round robin) with a
+skewed one (weighted toward one site) and reports the per-site home
+transaction shares, messages handled, and the imbalance coefficient
+(coefficient of variation; 0 = perfectly balanced).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentTable, build_instance
+from repro.workload.spec import WorkloadSpec
+
+__all__ = ["run"]
+
+
+def run(
+    n_txns: int = 120,
+    n_sites: int = 4,
+    n_items: int = 32,
+    seed: int = 53,
+) -> ExperimentTable:
+    """Round-robin vs weighted home-site selection."""
+    table = ExperimentTable(
+        title="EXP-LB: load balance under home-site policies",
+        columns=["policy", "home_shares", "imbalance_cv", "max_site_share"],
+        notes="home_shares lists each site's fraction of home transactions.",
+    )
+    policies = [
+        ("round_robin", None),
+        ("weighted", {"site1": 0.7, "site2": 0.1, "site3": 0.1, "site4": 0.1}),
+    ]
+    for policy, weights in policies:
+        instance = build_instance(n_sites, n_items, 3, seed=seed, settle_time=40.0)
+        spec = WorkloadSpec(
+            n_transactions=n_txns,
+            arrival="poisson",
+            arrival_rate=0.4,
+            min_ops=3,
+            max_ops=5,
+            read_fraction=0.75,
+            home_policy=policy,
+            home_weights=weights,
+        )
+        result = instance.run_workload(spec)
+        stats = result.statistics
+        total = max(sum(stats.home_txns_by_site.values()), 1)
+        shares = {
+            site: round(count / total, 3)
+            for site, count in sorted(stats.home_txns_by_site.items())
+        }
+        table.add(
+            policy=policy,
+            home_shares=str(shares),
+            imbalance_cv=stats.load_imbalance,
+            max_site_share=max(shares.values()),
+        )
+    return table

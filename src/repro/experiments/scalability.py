@@ -1,0 +1,72 @@
+"""EXP-SCALE: throughput and response time vs number of sites.
+
+The paper's monitor reports "transaction throughput and response time
+measures"; this experiment produces the classic scale-out series.  A closed
+workload with MPL proportional to the site count keeps per-site offered
+load constant, so throughput should grow roughly linearly while response
+time stays flat — until replication (fixed degree 3) makes remote quorum
+traffic the limiting factor.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import ExperimentTable, build_instance
+from repro.workload.spec import WorkloadSpec
+
+__all__ = ["run"]
+
+
+def run(
+    site_counts: Sequence[int] = (1, 2, 4, 8),
+    txns_per_site: int = 30,
+    mpl_per_site: int = 2,
+    n_items_per_site: int = 12,
+    seed: int = 31,
+) -> ExperimentTable:
+    """Scale the site count with proportional load and database size."""
+    table = ExperimentTable(
+        title="EXP-SCALE: throughput and response time vs number of sites",
+        columns=[
+            "sites",
+            "mpl",
+            "throughput",
+            "mean_rt",
+            "commit_rate",
+            "msgs_per_txn",
+        ],
+        notes=(
+            "Closed workload, MPL = 2 x sites; replication degree min(3, sites). "
+            "The 1-site row is the no-replication, no-network baseline; the "
+            "scale-out trend reads from 2 sites upward."
+        ),
+    )
+    for n_sites in site_counts:
+        degree = min(3, n_sites)
+        instance = build_instance(
+            n_sites,
+            n_items_per_site * n_sites,
+            degree,
+            seed=seed,
+            settle_time=50.0,
+        )
+        spec = WorkloadSpec(
+            n_transactions=txns_per_site * n_sites,
+            arrival="closed",
+            mpl=mpl_per_site * n_sites,
+            min_ops=3,
+            max_ops=5,
+            read_fraction=0.75,
+        )
+        result = instance.run_workload(spec)
+        stats = result.statistics
+        table.add(
+            sites=n_sites,
+            mpl=mpl_per_site * n_sites,
+            throughput=stats.throughput,
+            mean_rt=stats.mean_response_time or 0.0,
+            commit_rate=stats.commit_rate,
+            msgs_per_txn=stats.messages_total / max(stats.finished, 1),
+        )
+    return table

@@ -1,0 +1,40 @@
+"""EXP-FIG5: a full default Rainbow session and its output panel.
+
+Runs the paper's default configuration (QC + 2PL + 2PC) on a 4-site domain
+and produces the transaction-processing output of Figure 5: the §3
+statistics block plus the most recent per-transaction rows, rendered as the
+ASCII session panel.
+"""
+
+from __future__ import annotations
+
+from repro.core.instance import RainbowInstance, SessionResult
+from repro.experiments.common import build_instance
+from repro.gui.panels import render_session_panel
+from repro.workload.spec import WorkloadSpec
+
+__all__ = ["run"]
+
+
+def run(
+    n_txns: int = 200,
+    n_sites: int = 4,
+    n_items: int = 64,
+    seed: int = 3,
+) -> tuple[SessionResult, str, RainbowInstance]:
+    """Run the default session; returns (result, panel_text, instance)."""
+    instance = build_instance(
+        n_sites, n_items, 3, rcp="QC", ccp="2PL", acp="2PC", seed=seed,
+        sample_interval=25.0,
+    )
+    spec = WorkloadSpec(
+        n_transactions=n_txns,
+        arrival="poisson",
+        arrival_rate=0.5,
+        min_ops=3,
+        max_ops=6,
+        read_fraction=0.7,
+    )
+    result = instance.run_workload(spec)
+    panel = render_session_panel(result.statistics, instance.monitor.records[-5:])
+    return result, panel, instance

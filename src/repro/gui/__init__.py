@@ -1,0 +1,28 @@
+"""GUI analog: the applet façade and ASCII panel renderers."""
+
+from repro.gui.applet import GuiApplet, rainbow_url
+from repro.gui.panels import (
+    render_functional_architecture,
+    render_login_panel,
+    render_manual_workload_panel,
+    render_physical_architecture,
+    render_protocol_panel,
+    render_replication_panel,
+    render_session_panel,
+    render_sites_panel,
+    render_traffic_panel,
+)
+
+__all__ = [
+    "GuiApplet",
+    "rainbow_url",
+    "render_functional_architecture",
+    "render_login_panel",
+    "render_manual_workload_panel",
+    "render_physical_architecture",
+    "render_protocol_panel",
+    "render_replication_panel",
+    "render_session_panel",
+    "render_sites_panel",
+    "render_traffic_panel",
+]

@@ -1,0 +1,107 @@
+"""ASCII charts for the GUI's Display menu.
+
+"A GUI support in automating experiments and visual rendering of the
+results" — the reproduction renders results as terminal charts: a line
+chart for the progress monitor's time series and a bar chart for
+experiment tables (e.g. messages/txn by replication degree).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["line_chart", "bar_chart", "series_chart"]
+
+
+def line_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    title: str = "",
+    width: int = 64,
+    height: int = 12,
+    y_label: str = "",
+) -> str:
+    """Render one series as an ASCII line chart (x must be increasing)."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if not xs:
+        return f"{title}\n(no data)"
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:g}"
+    bottom_label = f"{y_lo:g}"
+    label_width = max(len(top_label), len(bottom_label), len(y_label))
+    for index, row in enumerate(grid):
+        if index == 0:
+            prefix = top_label.rjust(label_width)
+        elif index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        elif index == height // 2 and y_label:
+            prefix = y_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    lines.append(
+        " " * label_width + f"  {x_lo:g}" + f"{x_hi:g}".rjust(width - len(f"{x_lo:g}"))
+    )
+    return "\n".join(lines)
+
+
+def series_chart(
+    series: dict[str, list[float]],
+    y_key: str,
+    *,
+    title: Optional[str] = None,
+    width: int = 64,
+    height: int = 12,
+) -> str:
+    """Chart one key of a progress-monitor time-series dict against t."""
+    if y_key not in series:
+        raise KeyError(f"series has no key {y_key!r}")
+    return line_chart(
+        series.get("t", []),
+        series[y_key],
+        title=title or f"{y_key} over simulated time",
+        width=width,
+        height=height,
+        y_label=y_key,
+    )
+
+
+def bar_chart(
+    labels: Iterable[str],
+    values: Iterable[float],
+    *,
+    title: str = "",
+    width: int = 48,
+) -> str:
+    """Render labelled values as horizontal ASCII bars."""
+    labels = [str(label) for label in labels]
+    values = [float(value) for value in values]
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    lines = [title] if title else []
+    if not values:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    peak = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(value / peak * width), 1 if value > 0 else 0)
+        lines.append(f"{label.rjust(label_width)} | {bar} {value:g}")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Progress monitor: statistics, time series, tracing, result export."""
+
+from repro.monitor.export import (
+    statistics_to_json,
+    table_to_csv,
+    table_to_json,
+    timeseries_to_csv,
+)
+from repro.monitor.report import session_report
+from repro.monitor.stats import OutputStatistics, ProgressMonitor, TxnRecord
+from repro.monitor.tracing import ExecutionTracer, TraceEvent, format_history
+
+__all__ = [
+    "ExecutionTracer",
+    "OutputStatistics",
+    "ProgressMonitor",
+    "TraceEvent",
+    "TxnRecord",
+    "format_history",
+    "session_report",
+    "statistics_to_json",
+    "table_to_csv",
+    "table_to_json",
+    "timeseries_to_csv",
+]

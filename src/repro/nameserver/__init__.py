@@ -1,0 +1,6 @@
+"""Name server: site registry and the fragmentation/replication catalog."""
+
+from repro.nameserver.catalog import Catalog, Fragment, ItemSpec
+from repro.nameserver.server import NameServer, SiteInfo
+
+__all__ = ["Catalog", "Fragment", "ItemSpec", "NameServer", "SiteInfo"]

@@ -1,0 +1,28 @@
+"""Simulated network, latency models, and fault/recovery injection."""
+
+from repro.net.faults import FaultEvent, FaultInjector, FaultSchedule
+from repro.net.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    LanWanLatency,
+    LatencyModel,
+    UniformLatency,
+)
+from repro.net.message import Message, MessageType
+from repro.net.network import Endpoint, Network, NetworkStats
+
+__all__ = [
+    "ConstantLatency",
+    "Endpoint",
+    "ExponentialLatency",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "LanWanLatency",
+    "LatencyModel",
+    "Message",
+    "MessageType",
+    "Network",
+    "NetworkStats",
+    "UniformLatency",
+]

@@ -1,0 +1,143 @@
+"""Pluggable link-latency models for the network simulator.
+
+A latency model maps (source host, destination host, message size) to a
+delivery delay in simulated time units.  The Rainbow GUI lets users
+"configure a network simulation"; these classes are that configuration
+surface.  All randomness comes from the stream the :class:`~repro.net.network.Network`
+owns, so latency draws are reproducible and isolated from workload draws.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "LanWanLatency",
+    "LinkOverrideLatency",
+]
+
+
+class LatencyModel(Protocol):
+    """Anything that can produce a per-message delivery delay."""
+
+    def delay(self, src_host: str, dst_host: str, size: int, rng: random.Random) -> float:
+        """Return the delivery delay for one message."""
+        ...
+
+
+class ConstantLatency:
+    """Every message takes exactly ``value`` time units (default 1)."""
+
+    def __init__(self, value: float = 1.0):
+        if value < 0:
+            raise ValueError(f"latency must be non-negative, got {value}")
+        self.value = value
+
+    def delay(self, src_host: str, dst_host: str, size: int, rng: random.Random) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency({self.value})"
+
+
+class UniformLatency:
+    """Latency drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float = 0.5, high: float = 1.5):
+        if not 0 <= low <= high:
+            raise ValueError(f"need 0 <= low <= high, got {low}, {high}")
+        self.low = low
+        self.high = high
+
+    def delay(self, src_host: str, dst_host: str, size: int, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class ExponentialLatency:
+    """Exponential latency with the given ``mean`` plus a fixed ``floor``.
+
+    The floor models propagation delay; the exponential part models queueing.
+    """
+
+    def __init__(self, mean: float = 1.0, floor: float = 0.1):
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        if floor < 0:
+            raise ValueError(f"floor must be non-negative, got {floor}")
+        self.mean = mean
+        self.floor = floor
+
+    def delay(self, src_host: str, dst_host: str, size: int, rng: random.Random) -> float:
+        return self.floor + rng.expovariate(1.0 / self.mean)
+
+    def __repr__(self) -> str:
+        return f"ExponentialLatency(mean={self.mean}, floor={self.floor})"
+
+
+class LanWanLatency:
+    """Two-level topology: fast within a host, slower between hosts.
+
+    Mirrors the paper's deployment, where several Rainbow sites may share one
+    physical host (they "share the same Sitelet") and inter-host messages
+    cross the real LAN.
+    """
+
+    def __init__(self, local: float = 0.05, remote_low: float = 0.8, remote_high: float = 1.2):
+        if local < 0 or remote_low < 0 or remote_low > remote_high:
+            raise ValueError("invalid LanWanLatency parameters")
+        self.local = local
+        self.remote_low = remote_low
+        self.remote_high = remote_high
+
+    def delay(self, src_host: str, dst_host: str, size: int, rng: random.Random) -> float:
+        if src_host == dst_host:
+            return self.local
+        return rng.uniform(self.remote_low, self.remote_high)
+
+    def __repr__(self) -> str:
+        return (
+            f"LanWanLatency(local={self.local}, "
+            f"remote=[{self.remote_low}, {self.remote_high}])"
+        )
+
+
+class LinkOverrideLatency:
+    """Per-link latency overrides on top of a base model.
+
+    Models asymmetric topologies (one site behind a slow WAN link, a fast
+    pair of co-located hosts) without giving up the base model elsewhere:
+
+    >>> model = LinkOverrideLatency(ConstantLatency(1.0),
+    ...                             {("hA", "hB"): 10.0})
+
+    Overrides are symmetric (``(a, b)`` covers both directions) and may be
+    floats (constant) or full latency models.
+    """
+
+    def __init__(self, base: "LatencyModel", overrides: dict):
+        self.base = base
+        self._overrides = {}
+        for pair, value in overrides.items():
+            key = frozenset(pair)
+            if len(key) not in (1, 2):
+                raise ValueError(f"link override needs a host pair, got {pair!r}")
+            self._overrides[key] = value
+
+    def delay(self, src_host: str, dst_host: str, size: int, rng: random.Random) -> float:
+        override = self._overrides.get(frozenset((src_host, dst_host)))
+        if override is None:
+            return self.base.delay(src_host, dst_host, size, rng)
+        if isinstance(override, (int, float)):
+            return float(override)
+        return override.delay(src_host, dst_host, size, rng)
+
+    def __repr__(self) -> str:
+        return f"LinkOverrideLatency(base={self.base!r}, overrides={len(self._overrides)})"

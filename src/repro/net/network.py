@@ -1,0 +1,337 @@
+"""The simulated network: endpoints, delivery, partitions, accounting.
+
+This is the reproduction of Rainbow's network simulator.  Components obtain
+an :class:`Endpoint` (addressed ``host/name``), exchange :class:`Message`
+objects through :meth:`Network.send`, and block on :meth:`Endpoint.receive`.
+Request/reply exchanges go through :meth:`Endpoint.request`, which handles
+correlation ids, timeouts, and round-trip accounting.
+
+Failure semantics (driven by the fault injector):
+
+* a *down* endpoint neither receives nor keeps queued messages — in-flight
+  and queued messages to it are lost, like a crashed Java process;
+* a *partition* silently drops messages crossing partition boundaries;
+* an explicitly cut *link* drops messages in both directions;
+* an optional random *loss rate* models an unreliable transport.
+
+Every send is accounted (by type, by category, delivered/dropped) so the
+progress monitor can report "total number of messages generated per time
+unit" and "round trip messages" exactly as the paper lists.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter, deque
+from typing import Callable, Iterable, Optional
+
+from repro.errors import NetworkError, RpcTimeout, SimulationError
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.message import Message
+from repro.sim.kernel import Event, Simulator
+
+__all__ = ["Network", "Endpoint", "NetworkStats"]
+
+
+class NetworkStats:
+    """Message accounting maintained by the network."""
+
+    def __init__(self):
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.round_trips = 0
+        self.rpc_timeouts = 0
+        self.by_type: Counter[str] = Counter()
+        self.dropped_by_type: Counter[str] = Counter()
+        self.bytes_sent = 0
+        self.queueing_delay_total = 0.0
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy for monitors and panels."""
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "round_trips": self.round_trips,
+            "rpc_timeouts": self.rpc_timeouts,
+            "by_type": dict(self.by_type),
+            "dropped_by_type": dict(self.dropped_by_type),
+            "bytes_sent": self.bytes_sent,
+            "queueing_delay_total": self.queueing_delay_total,
+        }
+
+
+class Endpoint:
+    """A named mailbox attached to the network.
+
+    Addresses have the form ``host/name`` (e.g. ``"hostA/site1"``); the host
+    part drives the latency model and partitioning, mirroring Rainbow's
+    "several sites may share one physical host" deployment.
+    """
+
+    def __init__(self, network: "Network", host: str, name: str):
+        self.network = network
+        self.host = host
+        self.name = name
+        self.address = f"{host}/{name}"
+        self.up = True
+        self._queue: deque[Message] = deque()
+        self._receivers: deque[Event] = deque()
+        self._pending_rpcs: dict[int, Event] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+    def set_down(self) -> None:
+        """Crash the endpoint: lose queued messages, wake receivers with errors.
+
+        Pending RPCs issued *by* this endpoint are failed too — the caller
+        process died with its site, and Rainbow counts the resulting
+        half-done transactions as orphans.
+        """
+        self.up = False
+        self._queue.clear()
+        receivers, self._receivers = self._receivers, deque()
+        for event in receivers:
+            if not event.triggered:
+                event.fail(NetworkError(f"endpoint {self.address} went down"))
+        pending, self._pending_rpcs = self._pending_rpcs, {}
+        for event in pending.values():
+            if not event.triggered:
+                event.fail(NetworkError(f"endpoint {self.address} went down"))
+
+    def set_up(self) -> None:
+        """Recover the endpoint with an empty mailbox."""
+        self.up = True
+
+    # -- receive path ---------------------------------------------------------
+    def receive(self) -> Event:
+        """Event that fires with the next incoming request message."""
+        event = self.network.sim.event(name=f"recv:{self.address}")
+        if self._queue:
+            event.succeed(self._queue.popleft())
+        else:
+            self._receivers.append(event)
+        return event
+
+    def pending_count(self) -> int:
+        """Number of queued (undelivered-to-process) messages."""
+        return len(self._queue)
+
+    def _deliver(self, msg: Message) -> None:
+        if not self.up:
+            self.network._account_drop(msg, reason="endpoint down")
+            return
+        self.network.stats.delivered += 1
+        if msg.reply_to is not None and msg.reply_to in self._pending_rpcs:
+            event = self._pending_rpcs.pop(msg.reply_to)
+            self.network.stats.round_trips += 1
+            if not event.triggered:
+                event.succeed(msg)
+            return
+        while self._receivers:
+            event = self._receivers.popleft()
+            if not event.triggered:
+                event.succeed(msg)
+                return
+        self._queue.append(msg)
+
+    # -- send path -------------------------------------------------------------
+    def send(
+        self,
+        dst: str,
+        mtype: str,
+        payload=None,
+        *,
+        reply_to: Optional[int] = None,
+        txn_id: Optional[int] = None,
+        size: int = 1,
+    ) -> Message:
+        """Fire-and-forget send.  Returns the message (for correlation)."""
+        msg = Message(
+            src=self.address,
+            dst=dst,
+            mtype=mtype,
+            payload=payload,
+            reply_to=reply_to,
+            txn_id=txn_id,
+            size=size,
+        )
+        self.network.send(msg)
+        return msg
+
+    def reply(self, request: Message, mtype: str, payload=None, size: int = 1) -> Message:
+        """Send the reply to ``request``."""
+        msg = request.reply(mtype, payload, size=size)
+        self.network.send(msg)
+        return msg
+
+    def request(
+        self,
+        dst: str,
+        mtype: str,
+        payload=None,
+        *,
+        timeout: float = 50.0,
+        txn_id: Optional[int] = None,
+        size: int = 1,
+    ) -> Event:
+        """Request/reply exchange with a timeout.
+
+        Returns an event that succeeds with the reply :class:`Message` or
+        fails with :class:`RpcTimeout`.  A crashed destination simply never
+        answers — exactly the failure mode 2PC's timeout actions exist for.
+        """
+        if timeout <= 0:
+            raise SimulationError(f"rpc timeout must be positive, got {timeout}")
+        result = self.network.sim.event(name=f"rpc:{mtype}->{dst}")
+        msg = self.send(dst, mtype, payload, txn_id=txn_id, size=size)
+        self._pending_rpcs[msg.msg_id] = result
+
+        def _expire(_timer: Event) -> None:
+            pending = self._pending_rpcs.pop(msg.msg_id, None)
+            if pending is not None and not pending.triggered:
+                self.network.stats.rpc_timeouts += 1
+                pending.fail(RpcTimeout(f"{mtype} to {dst} timed out", destination=dst))
+
+        self.network.sim.timeout(timeout).add_callback(_expire)
+        return result
+
+
+class Network:
+    """Simulated message-passing network with latency, partitions and loss."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel | None = None,
+        rng: random.Random | None = None,
+        loss_rate: float = 0.0,
+        host_service_time: float = 0.0,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise NetworkError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if host_service_time < 0:
+            raise NetworkError("host_service_time must be >= 0")
+        self.sim = sim
+        self.latency = latency or ConstantLatency(1.0)
+        self.rng = rng or random.Random(0)
+        self.loss_rate = loss_rate
+        # Receiver-side serialisation: each host processes incoming
+        # messages one at a time, ``host_service_time * size`` each, so a
+        # burst to one host queues up.  0 disables queueing (infinite
+        # capacity), which is the default.
+        self.host_service_time = host_service_time
+        self._busy_until: dict[str, float] = {}
+        self.stats = NetworkStats()
+        self._endpoints: dict[str, Endpoint] = {}
+        self._partition_of: dict[str, int] = {}
+        self._cut_links: set[frozenset[str]] = set()
+        self._observers: list[Callable[[Message, str], None]] = []
+
+    # -- registration -------------------------------------------------------
+    def endpoint(self, host: str, name: str) -> Endpoint:
+        """Create and register an endpoint; addresses must be unique."""
+        endpoint = Endpoint(self, host, name)
+        if endpoint.address in self._endpoints:
+            raise NetworkError(f"duplicate endpoint address {endpoint.address}")
+        self._endpoints[endpoint.address] = endpoint
+        return endpoint
+
+    def lookup(self, address: str) -> Endpoint:
+        """Return the endpoint registered at ``address``."""
+        try:
+            return self._endpoints[address]
+        except KeyError:
+            raise NetworkError(f"unknown endpoint {address!r}") from None
+
+    def addresses(self) -> list[str]:
+        """All registered addresses (sorted, for deterministic iteration)."""
+        return sorted(self._endpoints)
+
+    def add_observer(self, observer: Callable[[Message, str], None]) -> None:
+        """Register a callback ``observer(msg, outcome)`` for every send.
+
+        ``outcome`` is ``"delivered"`` (scheduled for delivery) or the drop
+        reason.  The progress monitor uses this for time-series sampling.
+        """
+        self._observers.append(observer)
+
+    # -- fault surface --------------------------------------------------------
+    def partition(self, groups: Iterable[Iterable[str]]) -> None:
+        """Partition *hosts* into groups; cross-group messages are dropped.
+
+        Hosts not mentioned in any group form an implicit final group.
+        """
+        self._partition_of = {}
+        for index, group in enumerate(groups):
+            for host in group:
+                if host in self._partition_of:
+                    raise NetworkError(f"host {host!r} appears in two partition groups")
+                self._partition_of[host] = index
+
+    def heal_partition(self) -> None:
+        """Remove any active partition."""
+        self._partition_of = {}
+
+    def cut_link(self, host_a: str, host_b: str) -> None:
+        """Drop all messages between two hosts (both directions)."""
+        self._cut_links.add(frozenset((host_a, host_b)))
+
+    def restore_link(self, host_a: str, host_b: str) -> None:
+        """Undo :meth:`cut_link` for the pair."""
+        self._cut_links.discard(frozenset((host_a, host_b)))
+
+    def _hosts_connected(self, src_host: str, dst_host: str) -> bool:
+        if frozenset((src_host, dst_host)) in self._cut_links and src_host != dst_host:
+            return False
+        if self._partition_of:
+            default = max(self._partition_of.values(), default=-1) + 1
+            src_group = self._partition_of.get(src_host, default)
+            dst_group = self._partition_of.get(dst_host, default)
+            return src_group == dst_group
+        return True
+
+    # -- transmission -----------------------------------------------------------
+    def send(self, msg: Message) -> None:
+        """Submit a message for (possibly unsuccessful) delivery."""
+        msg.sent_at = self.sim.now
+        self.stats.sent += 1
+        self.stats.by_type[msg.mtype] += 1
+        self.stats.bytes_sent += msg.size
+
+        dst = self._endpoints.get(msg.dst)
+        src = self._endpoints.get(msg.src)
+        if dst is None:
+            self._account_drop(msg, reason="unknown destination")
+            return
+        src_host = src.host if src is not None else msg.src.split("/", 1)[0]
+        if src is not None and not src.up:
+            self._account_drop(msg, reason="source down")
+            return
+        if not self._hosts_connected(src_host, dst.host):
+            self._account_drop(msg, reason="partitioned")
+            return
+        if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
+            self._account_drop(msg, reason="random loss")
+            return
+
+        delay = self.latency.delay(src_host, dst.host, msg.size, self.rng)
+        if self.host_service_time > 0:
+            arrival = self.sim.now + delay
+            start = max(arrival, self._busy_until.get(dst.host, 0.0))
+            done = start + self.host_service_time * max(msg.size, 1)
+            self._busy_until[dst.host] = done
+            queue_wait = done - arrival
+            self.stats.queueing_delay_total += queue_wait
+            delay += queue_wait
+        self.sim.call_later(delay, lambda: dst._deliver(msg))
+        self._notify(msg, "delivered")
+
+    def _account_drop(self, msg: Message, reason: str) -> None:
+        self.stats.dropped += 1
+        self.stats.dropped_by_type[msg.mtype] += 1
+        self._notify(msg, reason)
+
+    def _notify(self, msg: Message, outcome: str) -> None:
+        for observer in self._observers:
+            observer(msg, outcome)

@@ -1,0 +1,39 @@
+"""Rainbow's pluggable transaction-processing protocols.
+
+Importing this package registers the stock protocols:
+
+* RCP — ``ROWA``, ``QC`` (default)
+* CCP — ``2PL``, ``TSO``, ``MVTO`` (extension)
+* ACP — ``2PC`` (default), ``3PC`` (extension)
+"""
+
+from repro.protocols import acp, ccp, rcp  # noqa: F401 - side-effect registration
+from repro.protocols.base import (
+    CommitProtocol,
+    ConcurrencyController,
+    ReplicationController,
+    acp_registry,
+    ccp_registry,
+    make_acp,
+    make_ccp,
+    make_rcp,
+    rcp_registry,
+    register_acp,
+    register_ccp,
+    register_rcp,
+)
+
+__all__ = [
+    "CommitProtocol",
+    "ConcurrencyController",
+    "ReplicationController",
+    "acp_registry",
+    "ccp_registry",
+    "make_acp",
+    "make_ccp",
+    "make_rcp",
+    "rcp_registry",
+    "register_acp",
+    "register_ccp",
+    "register_rcp",
+]

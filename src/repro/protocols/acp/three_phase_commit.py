@@ -1,0 +1,45 @@
+"""Three-phase commit (3PC) — the paper's suggested term-project extension.
+
+Adds the PRECOMMIT buffer state between the vote and the decision so that
+no participant can be uncertain while another has already committed.
+Under the fail-stop/no-partition assumptions 3PC makes, a coordinator
+failure never blocks participants: the termination protocol implemented in
+:meth:`repro.site.site.Site._terminate_3pc` lets them decide among
+themselves (any PRECOMMITTED ⇒ commit; all uncertain ⇒ abort).
+
+The coordinator side here:
+
+1. VOTE_REQ round (as in 2PC; any NO or silence ⇒ abort).
+2. PRECOMMIT round — participants force a PRECOMMIT record and ack.
+   Silent participants are tolerated (they will terminate correctly).
+3. Force the COMMIT record, broadcast COMMIT.
+
+EXP-ACP contrasts the two protocols under coordinator crashes: 2PC leaves
+orphans blocked for the whole outage; 3PC resolves them within the
+termination timeout.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CommitAbort
+from repro.net.message import MessageType
+from repro.protocols.base import CommitProtocol
+
+__all__ = ["ThreePhaseCommit"]
+
+
+class ThreePhaseCommit(CommitProtocol):
+    """Centralised 3PC with the participant-side termination protocol."""
+
+    name = "3PC"
+
+    def run(self, ctx):
+        all_yes, detail = yield from ctx.collect_votes(self.name)
+        if not all_yes:
+            ctx.log_decision("ABORT")
+            yield from ctx.broadcast(MessageType.ABORT)
+            raise CommitAbort(f"vote phase failed: {detail}")
+        yield from ctx.broadcast(MessageType.PRECOMMIT)
+        ctx.log_decision("COMMIT")
+        yield from ctx.broadcast(MessageType.COMMIT)
+        return "COMMIT"

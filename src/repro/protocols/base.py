@@ -1,0 +1,206 @@
+"""Protocol plumbing: interfaces and registries.
+
+Rainbow's protocols "are implemented with minimum interdependencies and
+assumptions in order to facilitate their replacement (e.g., by students)
+with minimum system-wide modifications."  Concretely:
+
+* Every protocol family has one small interface —
+  :class:`ConcurrencyController` (CCP, site-local),
+  :class:`ReplicationController` (RCP, coordinator-side) and
+  :class:`CommitProtocol` (ACP, coordinator-side; the participant half lives
+  in the site's message handlers).
+* Implementations self-register in a per-family *registry* keyed by a short
+  name (``"2PL"``, ``"QC"``, ``"2PC"`` …), which is exactly what the GUI's
+  Protocols Configuration window (paper Figure 4) lists in its drop-downs.
+* A student protocol is added by subclassing the interface and calling
+  :func:`register_ccp` / :func:`register_rcp` / :func:`register_acp`; no
+  other module needs editing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "ConcurrencyController",
+    "ReplicationController",
+    "CommitProtocol",
+    "register_ccp",
+    "register_rcp",
+    "register_acp",
+    "ccp_registry",
+    "rcp_registry",
+    "acp_registry",
+    "make_ccp",
+    "make_rcp",
+    "make_acp",
+]
+
+_CCP_REGISTRY: dict[str, Callable[..., "ConcurrencyController"]] = {}
+_RCP_REGISTRY: dict[str, Callable[..., "ReplicationController"]] = {}
+_ACP_REGISTRY: dict[str, Callable[..., "CommitProtocol"]] = {}
+
+
+class ConcurrencyController:
+    """CCP interface: guards the *local copies* of one site.
+
+    ``read`` and ``prewrite`` are generator functions (drive them with
+    ``yield from``): they may suspend the calling handler (lock waits, TSO
+    waits) and raise :class:`~repro.errors.ConcurrencyAbort` on rejection.
+    Buffered writes only reach the committed store via :meth:`commit`.
+    """
+
+    name = "abstract"
+
+    def read(self, txn_id: int, ts: float, item: str) -> Generator:
+        """Yield until readable; return ``(value, version)``."""
+        raise NotImplementedError
+
+    def prewrite(self, txn_id: int, ts: float, item: str, value: Any) -> Generator:
+        """Yield until accepted; buffer the write; return current version."""
+        raise NotImplementedError
+
+    def buffered_writes(self, txn_id: int) -> dict[str, Any]:
+        """The uncommitted writes this transaction holds at this site."""
+        raise NotImplementedError
+
+    def commit(self, txn_id: int, versions: dict[str, int]) -> None:
+        """Apply buffered writes (stamped per ``versions``) and release."""
+        raise NotImplementedError
+
+    def abort(self, txn_id: int) -> None:
+        """Discard buffered writes and release."""
+        raise NotImplementedError
+
+    def validate(self, txn_id: int) -> tuple[bool, str]:
+        """Certify the transaction at prepare time (OCC hook).
+
+        Pessimistic protocols validate during execution and return
+        ``(True, "")`` here; optimistic ones do their backward validation.
+        A False vote makes the participant vote NO.
+        """
+        return True, ""
+
+    def doom(self, txn_id: int) -> None:
+        """Mark the transaction as must-abort (wound-wait, recovery)."""
+        raise NotImplementedError
+
+    def is_doomed(self, txn_id: int) -> bool:
+        """True if the transaction must abort at this site."""
+        raise NotImplementedError
+
+    def active_transactions(self) -> set[int]:
+        """Transactions with local state at this site."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Drop all volatile state (site crash)."""
+        raise NotImplementedError
+
+
+class ReplicationController:
+    """RCP interface: executed by the transaction's home-site thread.
+
+    ``do_read``/``do_write`` are generator functions driven with
+    ``yield from`` inside the coordinator process; they perform whatever
+    remote copy accesses the protocol requires and raise
+    :class:`~repro.errors.ReplicationAbort` when the necessary copies or
+    quorum cannot be assembled.
+    """
+
+    name = "abstract"
+
+    def do_read(self, ctx, item: str) -> Generator:
+        """Yield until done; return the value read."""
+        raise NotImplementedError
+
+    def do_write(self, ctx, item: str, value: Any) -> Generator:
+        """Yield until enough copies are pre-written; returns None."""
+        raise NotImplementedError
+
+
+class CommitProtocol:
+    """ACP interface: terminates a transaction atomically.
+
+    ``run`` is a generator driven by the coordinator; it returns the
+    decision string ``"COMMIT"`` or raises
+    :class:`~repro.errors.CommitAbort`.
+    """
+
+    name = "abstract"
+
+    def run(self, ctx) -> Generator:
+        """Yield until the decision is reached and propagated."""
+        raise NotImplementedError
+
+
+def _register(registry: dict, kind: str, name: str, factory: Callable) -> None:
+    key = name.upper()
+    if key in registry:
+        raise ProtocolError(f"{kind} protocol {name!r} already registered")
+    registry[key] = factory
+
+
+def register_ccp(name: str, factory: Callable[..., ConcurrencyController]) -> None:
+    """Register a concurrency-control protocol under ``name``."""
+    _register(_CCP_REGISTRY, "CCP", name, factory)
+
+
+def register_rcp(name: str, factory: Callable[..., ReplicationController]) -> None:
+    """Register a replication-control protocol under ``name``."""
+    _register(_RCP_REGISTRY, "RCP", name, factory)
+
+
+def register_acp(name: str, factory: Callable[..., CommitProtocol]) -> None:
+    """Register an atomic-commit protocol under ``name``."""
+    _register(_ACP_REGISTRY, "ACP", name, factory)
+
+
+def ccp_registry() -> list[str]:
+    """Names of the registered CCPs (what the GUI panel offers)."""
+    return sorted(_CCP_REGISTRY)
+
+
+def rcp_registry() -> list[str]:
+    """Names of the registered RCPs."""
+    return sorted(_RCP_REGISTRY)
+
+
+def acp_registry() -> list[str]:
+    """Names of the registered ACPs."""
+    return sorted(_ACP_REGISTRY)
+
+
+def make_ccp(name: str, *args, **kwargs) -> ConcurrencyController:
+    """Instantiate the CCP registered under ``name``."""
+    try:
+        factory = _CCP_REGISTRY[name.upper()]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown CCP {name!r}; registered: {ccp_registry()}"
+        ) from None
+    return factory(*args, **kwargs)
+
+
+def make_rcp(name: str, *args, **kwargs) -> ReplicationController:
+    """Instantiate the RCP registered under ``name``."""
+    try:
+        factory = _RCP_REGISTRY[name.upper()]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown RCP {name!r}; registered: {rcp_registry()}"
+        ) from None
+    return factory(*args, **kwargs)
+
+
+def make_acp(name: str, *args, **kwargs) -> CommitProtocol:
+    """Instantiate the ACP registered under ``name``."""
+    try:
+        factory = _ACP_REGISTRY[name.upper()]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown ACP {name!r}; registered: {acp_registry()}"
+        ) from None
+    return factory(*args, **kwargs)

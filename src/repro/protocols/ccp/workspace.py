@@ -1,0 +1,96 @@
+"""Shared workspace machinery for concurrency controllers.
+
+All three CCPs buffer uncommitted writes in a per-transaction, per-site
+workspace and only touch the committed store at commit.  This base class
+owns that workspace plus the *doomed* set (transactions that must abort —
+wound-wait victims, or in-doubt leftovers recovery resolved to abort).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConcurrencyAbort
+from repro.protocols.base import ConcurrencyController
+from repro.sim.kernel import Simulator
+from repro.site.storage import LocalStore
+
+__all__ = ["WorkspaceController", "CcpStats"]
+
+
+@dataclass
+class CcpStats:
+    """Counters every CCP exposes to the progress monitor."""
+
+    reads: int = 0
+    prewrites: int = 0
+    rejections: int = 0
+    waits: int = 0
+    commits: int = 0
+    aborts: int = 0
+
+
+class WorkspaceController(ConcurrencyController):
+    """Base class: workspace + doom handling; subclasses add the ordering."""
+
+    def __init__(self, sim: Simulator, store: LocalStore):
+        self.sim = sim
+        self.store = store
+        self.stats = CcpStats()
+        self._workspace: dict[int, dict[str, Any]] = {}
+        self._doomed: set[int] = set()
+
+    # -- workspace ------------------------------------------------------------
+    def buffered_writes(self, txn_id: int) -> dict[str, Any]:
+        return dict(self._workspace.get(txn_id, {}))
+
+    def _buffer(self, txn_id: int, item: str, value: Any) -> None:
+        self._workspace.setdefault(txn_id, {})[item] = value
+
+    def _buffered_value(self, txn_id: int, item: str):
+        """``(True, value)`` if the txn wrote ``item`` here, else ``(False, None)``."""
+        workspace = self._workspace.get(txn_id)
+        if workspace is not None and item in workspace:
+            return True, workspace[item]
+        return False, None
+
+    def _drop(self, txn_id: int) -> dict[str, Any]:
+        self._doomed.discard(txn_id)
+        return self._workspace.pop(txn_id, {})
+
+    # -- dooming ------------------------------------------------------------
+    def doom(self, txn_id: int) -> None:
+        self._doomed.add(txn_id)
+
+    def is_doomed(self, txn_id: int) -> bool:
+        return txn_id in self._doomed
+
+    def _check_doom(self, txn_id: int) -> None:
+        if txn_id in self._doomed:
+            self.stats.rejections += 1
+            raise ConcurrencyAbort(f"txn{txn_id} doomed at site {self.store.site_name}")
+
+    # -- recovery ------------------------------------------------------------
+    def reinstate(self, txn_id: int, ts: float, writes: dict[str, Any]) -> None:
+        """Rebuild the workspace of an in-doubt transaction after a crash.
+
+        Subclasses additionally restore their ordering state (locks for
+        2PL, pending pre-writes for TSO/MVTO) so that the in-doubt
+        transaction keeps excluding conflicting work until its decision is
+        learned — the essence of why 2PC "blocks".
+        """
+        for item, value in writes.items():
+            self._buffer(txn_id, item, value)
+
+    # -- bookkeeping ------------------------------------------------------------
+    def active_transactions(self) -> set[int]:
+        return set(self._workspace)
+
+    def _apply_workspace(self, txn_id: int, versions: dict[str, int]) -> None:
+        """Write the workspace into the committed store."""
+        for item, value in self._drop(txn_id).items():
+            version = versions.get(item)
+            if version is None:
+                version = self.store.version(item) + 1
+            self.store.apply(item, value, version, txn_id, self.sim.now)

@@ -1,0 +1,16 @@
+"""Replication control protocols (RCP): ROWA, available copies, quorums."""
+
+from repro.protocols.base import register_rcp
+from repro.protocols.rcp.available_copies import AvailableCopiesController
+from repro.protocols.rcp.quorum import QuorumConsensusController
+from repro.protocols.rcp.rowa import RowaController
+
+register_rcp("ROWA", RowaController)
+register_rcp("ROWAA", AvailableCopiesController)
+register_rcp("QC", QuorumConsensusController)
+
+__all__ = [
+    "AvailableCopiesController",
+    "QuorumConsensusController",
+    "RowaController",
+]

@@ -1,0 +1,64 @@
+"""ROWA-Available (available copies) replication control.
+
+The middle ground between ROWA and quorum consensus, and the scheme the
+SETH lineage ([3] in the paper) used for its failure experiments: reads
+touch one copy; writes touch **every reachable** copy and tolerate
+unreachable holders (at least one copy must accept).  Write availability is
+therefore as good as "any copy up", unlike ROWA's "all copies up".
+
+The textbook caveat is reproduced on purpose: without the validation
+protocol real available-copies systems add, a network *partition* can let
+both sides write "their" copies independently — one-copy serializability is
+lost (two committed writers can install conflicting versions).  The
+classroom test demonstrates exactly that, caught by the history checker's
+version-collision detector.  Under fail-stop site crashes (no partitions),
+the protocol behaves correctly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConcurrencyAbort, ReplicationAbort
+from repro.protocols.base import ReplicationController
+
+__all__ = ["AvailableCopiesController"]
+
+
+class AvailableCopiesController(ReplicationController):
+    """Read one copy, write all *available* copies."""
+
+    name = "ROWAA"
+
+    def do_read(self, ctx, item: str):
+        spec = ctx.catalog.item(item)
+        failures = []
+        for site in ctx.order_local_first(spec.sites):
+            result = yield from ctx.access_read(site, item)
+            if result.ok:
+                ctx.note_read(item, result.version)
+                return result.value
+            if result.kind == "ccp":
+                raise ConcurrencyAbort(f"read {item!r} at {site}: {result.reason}")
+            failures.append(f"{site}: {result.reason}")
+        raise ReplicationAbort(f"no copy of {item!r} reachable ({'; '.join(failures)})")
+
+    def do_write(self, ctx, item: str, value: Any):
+        spec = ctx.catalog.item(item)
+        sites = ctx.order_local_first(spec.sites)
+        results = yield from ctx.access_prewrite_many(sites, item, value)
+        ccp_failures = [r for r in results if not r.ok and r.kind == "ccp"]
+        if ccp_failures:
+            raise ConcurrencyAbort(
+                f"prewrite {item!r} rejected at {ccp_failures[0].site}: "
+                f"{ccp_failures[0].reason}"
+            )
+        accepted = [r for r in results if r.ok]
+        if not accepted:
+            raise ReplicationAbort(
+                f"no available copy of {item!r} accepted the write"
+            )
+        new_version = ctx.assign_version(accepted)
+        for result in accepted:
+            ctx.note_prewrite(result.site, item, new_version)
+        ctx.note_write(item, new_version)

@@ -1,0 +1,24 @@
+"""Discrete-event simulation kernel (Rainbow's execution substrate)."""
+
+from repro.sim.kernel import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    Simulator,
+    Timeout,
+)
+from repro.sim.randoms import RandomStreams, zipf_weights
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Simulator",
+    "Timeout",
+    "RandomStreams",
+    "zipf_weights",
+]

@@ -1,0 +1,457 @@
+"""Deterministic discrete-event simulation kernel.
+
+This is the execution substrate that replaces the Java threads of the
+original Rainbow system.  Every active component of the reproduction — site
+servers, transaction coordinator threads, the workload generator, the fault
+injector, the progress-monitor sampler — is a :class:`Process`: a Python
+generator that yields events (timeouts, received messages, completions of
+other processes) and is resumed when they fire.
+
+The kernel is intentionally SimPy-like but self-contained:
+
+* :class:`Simulator` owns the virtual clock and the event heap.
+* :class:`Event` is a one-shot occurrence that can *succeed* with a value or
+  *fail* with an exception.
+* :class:`Timeout` succeeds after a fixed delay.
+* :class:`Process` wraps a generator; yielding an event suspends the process
+  until the event fires.  A failed event is re-raised inside the generator so
+  processes handle protocol failures with ordinary ``try/except``.
+* :class:`AnyOf` / :class:`AllOf` compose events.
+* :meth:`Process.interrupt` throws :class:`Interrupt` into a suspended
+  process — used to kill in-flight work when a site crashes.
+
+Determinism: events scheduled for the same instant fire in scheduling order
+(a monotonically increasing sequence number breaks ties), so a given seed
+always produces the same history — the property that makes classroom
+assignments and experiments repeatable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "Simulator",
+    "PENDING",
+    "TRIGGERED",
+    "PROCESSED",
+]
+
+# Event lifecycle states.
+PENDING = "pending"
+TRIGGERED = "triggered"
+PROCESSED = "processed"
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    ``cause`` is whatever the interrupter supplied (for Rainbow this is
+    usually a site-crash notice).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(f"interrupted: {cause!r}")
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence inside a :class:`Simulator`.
+
+    An event starts *pending*.  Calling :meth:`succeed` or :meth:`fail`
+    moves it to *triggered* and schedules its callbacks to run at the
+    current simulation instant; once callbacks have run it is *processed*.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._state = PENDING
+        self.name = name
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has an outcome (value or failure)."""
+        return self._state != PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception carried by the event."""
+        if self._state == PENDING:
+            raise SimulationError(f"event {self!r} has no value yet")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._state != PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        self.sim._queue_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``.
+
+        The exception is raised inside any process waiting on the event.
+        """
+        if self._state != PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = TRIGGERED
+        self.sim._queue_event(self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self._state = PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately (same instant), preserving at-most-once semantics.
+        """
+        if self._state == PROCESSED:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or self.__class__.__name__
+        return f"<{label} state={self._state}>"
+
+
+class Timeout(Event):
+    """An event that succeeds ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=f"Timeout({delay})")
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        sim._schedule(delay, self)
+
+
+class _ConditionEvent(Event):
+    """Base for AnyOf/AllOf: completes based on child event outcomes."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name=self.__class__.__name__)
+        self.events = list(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            event.add_callback(self._child_fired)
+
+    def _child_fired(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _results(self) -> dict[Event, Any]:
+        # Only *processed* children count: a Timeout is born triggered but
+        # has not occurred until its callbacks ran.
+        return {e: e.value for e in self.events if e.processed and e.ok}
+
+
+class AnyOf(_ConditionEvent):
+    """Succeeds as soon as any child event succeeds.
+
+    Fails only if *all* children fail (with the last failure).  The success
+    value is a dict of the child events that had succeeded by that instant,
+    mapped to their values.
+    """
+
+    __slots__ = ()
+
+    def _child_fired(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok:
+            self.succeed(self._results())
+        else:
+            self._remaining -= 1
+            if self._remaining == 0:
+                self.fail(event.value)
+
+
+class AllOf(_ConditionEvent):
+    """Succeeds once every child event has succeeded.
+
+    Fails as soon as any child fails (with that child's exception).
+    """
+
+    __slots__ = ()
+
+    def _child_fired(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._results())
+
+
+class Process(Event):
+    """A running generator; completes when the generator returns.
+
+    The generator yields :class:`Event` instances.  When a yielded event
+    succeeds the process resumes with the event's value; when it fails the
+    exception is thrown into the generator.  The process event itself
+    succeeds with the generator's return value, or fails with any uncaught
+    exception.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "_interrupts")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._interrupts: list[Interrupt] = []
+        # Start the process at the current instant (but not synchronously,
+        # so the creator finishes its own step first).
+        bootstrap = Event(sim, name=f"start:{self.name}")
+        self._waiting_on = bootstrap
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current wait.
+
+        Interrupting a finished process is a no-op; interrupting a process
+        that is not currently suspended delivers the interrupt at its next
+        suspension point.
+        """
+        if self.triggered:
+            return
+        interrupt = Interrupt(cause)
+        if self._waiting_on is not None:
+            target, self._waiting_on = self._waiting_on, None
+            # Detach: the original event may still fire later; ignore it.
+            delivery = Event(self.sim, name=f"interrupt:{self.name}")
+            delivery.add_callback(lambda _ev: self._step(throw=interrupt))
+            delivery.succeed(None)
+            # Ensure a late firing of `target` does not also resume us.
+            self._disarm(target)
+        else:
+            self._interrupts.append(interrupt)
+
+    def _disarm(self, event: Event) -> None:
+        try:
+            event.callbacks.remove(self._resume)
+        except ValueError:
+            pass
+
+    # -- stepping ----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if self._waiting_on is not event:
+            return  # stale wake-up after an interrupt detached us
+        self._waiting_on = None
+        if event.ok:
+            self._step(send=event.value)
+        else:
+            self._step(throw=event.value)
+
+    def _step(self, send: Any = None, throw: BaseException | None = None) -> None:
+        if self.triggered:
+            return
+        try:
+            if self._interrupts and throw is None:
+                throw = self._interrupts.pop(0)
+            if throw is not None:
+                target = self.generator.throw(throw)
+            else:
+                target = self.generator.send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as interrupt:
+            # An uncaught interrupt terminates the process quietly: the
+            # process was killed on purpose (e.g. its site crashed).
+            self.succeed(interrupt)
+            return
+        except BaseException as exc:  # noqa: BLE001 - deliberate funnel
+            self.fail(exc)
+            return
+
+        if not isinstance(target, Event):
+            self.fail(SimulationError(f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        if target.sim is not self.sim:
+            self.fail(SimulationError("process yielded event from another simulator"))
+            return
+        if self._interrupts:
+            # An interrupt arrived while the process body was executing:
+            # deliver it at this suspension point instead of waiting.
+            interrupt = self._interrupts.pop(0)
+            delivery = Event(self.sim, name=f"interrupt:{self.name}")
+            delivery.add_callback(lambda _ev: self._step(throw=interrupt))
+            delivery.succeed(None)
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Simulator:
+    """The discrete-event simulator: virtual clock plus event heap."""
+
+    def __init__(self):
+        self._now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._processed_events = 0
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Total number of events processed so far (a work measure)."""
+        return self._processed_events
+
+    # -- event construction -------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Launch ``generator`` as a process starting at the current instant."""
+        if not hasattr(generator, "send"):
+            raise SimulationError("process() requires a generator (did you call the function?)")
+        return Process(self, generator, name=name)
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` after ``delay`` time units (a lightweight timer)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        event = Event(self, name="call_later")
+        event._ok = True
+        event._state = TRIGGERED
+        event.add_callback(lambda _ev: fn())
+        self._schedule(delay, event)
+        return event
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` succeeds."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, delay: float, event: Event) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
+
+    def _queue_event(self, event: Event) -> None:
+        if isinstance(event, Timeout):
+            return  # timeouts were queued at construction
+        self._schedule(0.0, event)
+
+    # -- execution ----------------------------------------------------------
+    def step(self) -> bool:
+        """Process one event.  Returns False if the heap is empty."""
+        if not self._heap:
+            return False
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        self._processed_events += 1
+        event._run_callbacks()
+        return True
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        * ``until`` is None: run until no events remain.
+        * ``until`` is a number: run until the clock would pass it (the
+          clock is left exactly at ``until``).
+        * ``until`` is an :class:`Event`: run until that event is processed
+          and return its value (raising if it failed).
+        """
+        if until is None:
+            while self.step():
+                pass
+            return None
+
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel.processed:
+                if not self.step():
+                    raise SimulationError("simulation ran dry before the awaited event fired")
+            if sentinel.ok:
+                return sentinel.value
+            raise sentinel.value
+
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError(f"cannot run to {deadline}: clock already at {self._now}")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._heap[0][0] if self._heap else float("inf")

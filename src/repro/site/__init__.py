@@ -1,0 +1,23 @@
+"""Rainbow site substrate: storage, WAL, locks, deadlocks, and the site."""
+
+from repro.site.deadlock import DeadlockDetector, ProbeTypes
+from repro.site.locks import LockManager, LockMode, LockStats
+from repro.site.site import PreparedState, Site, SiteStats
+from repro.site.storage import Copy, LocalStore
+from repro.site.wal import InDoubt, LogRecord, WriteAheadLog
+
+__all__ = [
+    "Copy",
+    "DeadlockDetector",
+    "InDoubt",
+    "LocalStore",
+    "LockManager",
+    "LockMode",
+    "LockStats",
+    "LogRecord",
+    "PreparedState",
+    "ProbeTypes",
+    "Site",
+    "SiteStats",
+    "WriteAheadLog",
+]

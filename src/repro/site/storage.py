@@ -1,0 +1,134 @@
+"""Per-site local storage: versioned committed copies of database items.
+
+Each Rainbow site stores the *local copies* of the items the catalog places
+on it.  A copy carries a monotonically increasing ``version`` number — the
+currency token quorum consensus uses to pick the most recent value in a read
+quorum and to stamp writes (new version = max version in the write quorum
+plus one).
+
+The store only ever holds *committed* state.  Uncommitted writes live in
+per-transaction workspaces owned by the concurrency controller and reach the
+store through :meth:`LocalStore.apply` at commit time, after the WAL has
+made them durable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import CatalogError
+
+__all__ = ["Copy", "LocalStore"]
+
+
+@dataclass
+class Copy:
+    """One committed local copy of an item."""
+
+    item: str
+    value: Any
+    version: int = 0
+
+    def as_tuple(self) -> tuple[Any, int]:
+        return (self.value, self.version)
+
+
+@dataclass
+class WriteRecord:
+    """An applied write, kept for audit/history checking."""
+
+    item: str
+    value: Any
+    version: int
+    txn_id: int
+    at: float
+
+
+class LocalStore:
+    """The committed key/value/version store of one site."""
+
+    def __init__(self, site_name: str):
+        self.site_name = site_name
+        self._copies: dict[str, Copy] = {}
+        self.audit_log: list[WriteRecord] = []
+        self.reads_served = 0
+        self.writes_applied = 0
+
+    # -- schema ------------------------------------------------------------
+    def create_copy(self, item: str, initial_value: Any = 0) -> Copy:
+        """Install the local copy of ``item`` (version 0)."""
+        if item in self._copies:
+            raise CatalogError(f"site {self.site_name}: copy of {item!r} already exists")
+        copy = Copy(item=item, value=initial_value, version=0)
+        self._copies[item] = copy
+        return copy
+
+    def has_copy(self, item: str) -> bool:
+        """True if this site holds a copy of ``item``."""
+        return item in self._copies
+
+    def items(self) -> list[str]:
+        """Item names stored here, sorted."""
+        return sorted(self._copies)
+
+    # -- access ------------------------------------------------------------
+    def read(self, item: str) -> tuple[Any, int]:
+        """Return ``(value, version)`` of the committed copy."""
+        copy = self._get(item)
+        self.reads_served += 1
+        return copy.as_tuple()
+
+    def version(self, item: str) -> int:
+        """Current committed version of the copy."""
+        return self._get(item).version
+
+    def apply(self, item: str, value: Any, version: int, txn_id: int, at: float) -> None:
+        """Install a committed write.
+
+        Versions never move backwards: a write carrying a version lower than
+        the committed one is ignored (Thomas-write-rule flavour; this only
+        arises for QC writes racing with recovery, and dropping the stale
+        write is the correct outcome).
+        """
+        copy = self._get(item)
+        if version < copy.version:
+            return
+        copy.value = value
+        copy.version = version
+        self.writes_applied += 1
+        self.audit_log.append(WriteRecord(item, value, version, txn_id, at))
+
+    def reset_value(self, item: str, value: Any) -> None:
+        """Administratively set a copy's value (pre-session bootstrap only).
+
+        Keeps version 0 so the first transactional write still stamps
+        version 1; not for use while transactions are running.
+        """
+        copy = self._get(item)
+        copy.value = value
+        copy.version = 0
+
+    def snapshot(self) -> dict[str, tuple[Any, int]]:
+        """Copy of the committed state (for panels, tests, recovery checks)."""
+        return {name: copy.as_tuple() for name, copy in self._copies.items()}
+
+    def load_snapshot(self, state: dict[str, tuple[Any, int]]) -> None:
+        """Bulk-restore committed state (recovery from a checkpoint)."""
+        for name, (value, version) in state.items():
+            if name not in self._copies:
+                self.create_copy(name)
+            copy = self._copies[name]
+            copy.value = value
+            copy.version = version
+
+    def _get(self, item: str) -> Copy:
+        try:
+            return self._copies[item]
+        except KeyError:
+            raise CatalogError(
+                f"site {self.site_name} holds no copy of {item!r}"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self._copies)

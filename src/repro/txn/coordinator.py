@@ -1,0 +1,467 @@
+"""The home-site transaction coordinator.
+
+"When a new transaction arrives at a Rainbow site, the site dedicates one
+thread to process it.  The thread immediately invokes the RCP. … When all
+operations of a transaction are processed by the RCP, the home site
+initiates a two-phase commit session … When commitment terminates, the
+transaction is complete and the thread finishes."
+
+:func:`run_transaction` is that thread, as a kernel process running *on*
+the home site (it dies with it).  :class:`TxnContext` is the toolbox it
+hands to the pluggable RCP and ACP: copy access (local calls for the home
+copy, request/reply messages for remote copies), participant registration,
+version bookkeeping, and the vote/decision machinery of the commit
+protocols.
+
+Abort classification follows the paper's statistics: RCP (quorum or copy
+set unattainable), CCP (rejected/deadlock victim), ACP (a NO vote or vote
+timeout), SYSTEM (the home site crashed mid-flight).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import (
+    CommitAbort,
+    NetworkError,
+    RpcTimeout,
+    TransactionAborted,
+)
+from repro.nameserver.catalog import Catalog
+from repro.net.message import MessageType
+from repro.protocols.base import make_acp, make_rcp
+from repro.sim.kernel import Interrupt
+from repro.site.site import Site
+from repro.txn.transaction import OpKind, Transaction, TxnStatus
+
+__all__ = ["AccessResult", "Participant", "CoordinatorConfig", "TxnContext", "run_transaction"]
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one copy access (never raises — RCPs classify)."""
+
+    ok: bool
+    site: str
+    value: Any = None
+    version: float = 0.0
+    kind: Optional[str] = None  # "ccp" | "net" when not ok
+    reason: str = ""
+
+
+@dataclass
+class Participant:
+    """A site the transaction touched; it must see the final decision."""
+
+    site: str
+    address: str
+    versions: dict[str, float] = field(default_factory=dict)  # prewritten items
+
+
+@dataclass
+class CoordinatorConfig:
+    """Coordinator-side protocol selection and timeout policy.
+
+    ``op_timeout`` must exceed the sites' lock/TSO wait timeouts, otherwise
+    a long (but legal) lock wait at a remote copy is misclassified as an
+    unreachable site.
+    """
+
+    rcp: str = "QC"
+    acp: str = "2PC"
+    rcp_options: dict = field(default_factory=dict)
+    acp_options: dict = field(default_factory=dict)
+    op_timeout: float = 90.0
+    vote_timeout: float = 40.0
+    ack_timeout: float = 25.0
+    ack_retries: int = 3
+    # Deterministic failure scenarios ("crash the coordinator right after
+    # the votes are in"): the classic classroom exercise about 2PC blocking
+    # and the driver of the EXP-ACP benchmark.  ``failpoint`` is one of
+    # ``"after_votes"`` or ``"after_precommit"``; each armed transaction
+    # that reaches it crashes its home site at that instant.
+    failpoint: Optional[str] = None
+    failpoint_arms: int = 0
+
+    def hit_failpoint(self, point: str) -> bool:
+        """Consume one arm if ``point`` is the configured failpoint."""
+        if self.failpoint == point and self.failpoint_arms > 0:
+            self.failpoint_arms -= 1
+            return True
+        return False
+
+
+class TxnContext:
+    """Everything the RCP and ACP need while processing one transaction."""
+
+    def __init__(
+        self,
+        txn: Transaction,
+        home: Site,
+        catalog: Catalog,
+        directory: dict[str, str],
+        config: CoordinatorConfig,
+        monitor=None,
+    ):
+        self.txn = txn
+        self.home = home
+        self.sim = home.sim
+        self.catalog = catalog
+        self.directory = directory  # site name -> endpoint address
+        self.config = config
+        self.monitor = monitor
+        self.participants: dict[str, Participant] = {}
+        self.rcp = make_rcp(config.rcp, **config.rcp_options)
+        self.acp = make_acp(config.acp, **config.acp_options)
+        # Sites where copy accesses are currently outstanding (a counted
+        # multiset: quorum accesses run concurrently).  The distributed-
+        # deadlock detector forwards probes through ``blocked_site``.
+        self._blocked_counts: dict[str, int] = {}
+
+    @property
+    def blocked_site(self) -> Optional[str]:
+        """A site where the transaction is currently waiting (or None)."""
+        for site, count in self._blocked_counts.items():
+            if count > 0:
+                return site
+        return None
+
+    def _block_enter(self, site: str) -> None:
+        self._blocked_counts[site] = self._blocked_counts.get(site, 0) + 1
+
+    def _block_exit(self, site: str) -> None:
+        count = self._blocked_counts.get(site, 0) - 1
+        if count <= 0:
+            self._blocked_counts.pop(site, None)
+        else:
+            self._blocked_counts[site] = count
+
+    # -- topology helpers --------------------------------------------------------
+    def order_local_first(self, sites: list[str]) -> list[str]:
+        """Copy-holder order: the home copy is free, so it goes first."""
+        ordered = sorted(sites)
+        if self.home.name in ordered:
+            ordered.remove(self.home.name)
+            ordered.insert(0, self.home.name)
+        return ordered
+
+    def address_of(self, site: str) -> str:
+        return self.directory[site]
+
+    # -- copy access ---------------------------------------------------------------
+    def access_read(self, site: str, item: str):
+        """Read the copy of ``item`` at ``site`` (generator → AccessResult)."""
+        if site == self.home.name:
+            self._block_enter(site)
+            try:
+                value, version = yield from self.home.local_read(
+                    self.txn.txn_id, self.txn.ts, item
+                )
+            except TransactionAborted as abort:
+                return AccessResult(False, site, kind="ccp", reason=str(abort))
+            finally:
+                self._block_exit(site)
+            self._register(site)
+            return AccessResult(True, site, value=value, version=version)
+        self._block_enter(site)
+        try:
+            reply = yield self.home.endpoint.request(
+                self.address_of(site),
+                MessageType.READ,
+                {
+                    "txn": self.txn.txn_id,
+                    "ts": self.txn.ts,
+                    "item": item,
+                    "home": self.home.address,
+                },
+                timeout=self.config.op_timeout,
+                txn_id=self.txn.txn_id,
+            )
+        except (RpcTimeout, NetworkError) as failure:
+            return AccessResult(False, site, kind="net", reason=str(failure))
+        finally:
+            self._block_exit(site)
+        payload = reply.payload or {}
+        if not payload.get("ok"):
+            return AccessResult(False, site, kind="ccp", reason=payload.get("reason", ""))
+        self._register(site)
+        return AccessResult(
+            True, site, value=payload.get("value"), version=payload.get("version", 0)
+        )
+
+    def access_prewrite(self, site: str, item: str, value: Any):
+        """Pre-write ``item`` at ``site`` (generator → AccessResult)."""
+        if site == self.home.name:
+            self._block_enter(site)
+            try:
+                version = yield from self.home.local_prewrite(
+                    self.txn.txn_id, self.txn.ts, item, value
+                )
+            except TransactionAborted as abort:
+                return AccessResult(False, site, kind="ccp", reason=str(abort))
+            finally:
+                self._block_exit(site)
+            self._register(site)
+            return AccessResult(True, site, version=version)
+        self._block_enter(site)
+        try:
+            reply = yield self.home.endpoint.request(
+                self.address_of(site),
+                MessageType.PREWRITE,
+                {
+                    "txn": self.txn.txn_id,
+                    "ts": self.txn.ts,
+                    "item": item,
+                    "value": value,
+                    "home": self.home.address,
+                },
+                timeout=self.config.op_timeout,
+                txn_id=self.txn.txn_id,
+            )
+        except (RpcTimeout, NetworkError) as failure:
+            return AccessResult(False, site, kind="net", reason=str(failure))
+        finally:
+            self._block_exit(site)
+        payload = reply.payload or {}
+        if not payload.get("ok"):
+            return AccessResult(False, site, kind="ccp", reason=payload.get("reason", ""))
+        self._register(site)
+        return AccessResult(True, site, version=payload.get("version", 0))
+
+    def access_read_many(self, sites: list[str], item: str):
+        """Concurrent reads at several sites (generator → list[AccessResult])."""
+        return (yield from self._gather([self.access_read(site, item) for site in sites]))
+
+    def access_prewrite_many(self, sites: list[str], item: str, value: Any):
+        """Concurrent pre-writes at several sites (generator → results)."""
+        return (
+            yield from self._gather(
+                [self.access_prewrite(site, item, value) for site in sites]
+            )
+        )
+
+    def _gather(self, generators):
+        processes = [self.sim.process(g, name="access") for g in generators]
+        yield self.sim.all_of(processes)
+        return [p.value for p in processes]
+
+    # -- bookkeeping -----------------------------------------------------------------
+    def _register(self, site: str) -> None:
+        if site not in self.participants:
+            self.participants[site] = Participant(site=site, address=self.address_of(site))
+
+    def assign_version(self, results) -> float:
+        """The version a write will install, from its prewrite results.
+
+        Counter semantics (2PL, TSO): one past the highest committed
+        version seen in the written copy set.  Timestamp semantics (MVTO):
+        the writer's own timestamp — the version chain is ordered by ts.
+        """
+        if getattr(self.home.cc, "timestamp_versions", False):
+            return self.txn.ts
+        return max(result.version for result in results) + 1
+
+    def note_prewrite(self, site: str, item: str, new_version: float) -> None:
+        """Record that ``site`` buffered ``item`` to be stamped ``new_version``."""
+        self._register(site)
+        self.participants[site].versions[item] = new_version
+
+    def note_read(self, item: str, version: float) -> None:
+        """Record the version the transaction observed for ``item``."""
+        self.txn.read_versions[item] = version
+
+    def note_write(self, item: str, version: float) -> None:
+        """Record the version this transaction will install for ``item``."""
+        self.txn.write_versions[item] = version
+
+    def participant_addresses(self) -> list[str]:
+        return [p.address for p in self.participants.values()]
+
+    # -- ACP primitives -----------------------------------------------------------------
+    def collect_votes(self, acp_name: str):
+        """Phase 1: VOTE_REQ to every participant; returns (all_yes, detail).
+
+        The home participant votes via a direct call; remote participants
+        via messages.  A vote that does not arrive within ``vote_timeout``
+        counts as NO (the classic timeout action).
+        """
+        peers = self.participant_addresses()
+        remote = []
+        all_yes = True
+        detail = []
+        for participant in sorted(self.participants.values(), key=lambda p: p.site):
+            if participant.site == self.home.name:
+                vote, reason = self.home.local_prepare(
+                    self.txn.txn_id,
+                    participant.versions,
+                    self.home.address,
+                    self.txn.ts,
+                    acp=acp_name,
+                    peers=peers,
+                )
+                if not vote:
+                    all_yes = False
+                    detail.append(f"{participant.site}: {reason}")
+            else:
+                remote.append(participant)
+
+        if remote:
+            events = [
+                self.home.endpoint.request(
+                    participant.address,
+                    MessageType.VOTE_REQ,
+                    {
+                        "txn": self.txn.txn_id,
+                        "ts": self.txn.ts,
+                        "versions": participant.versions,
+                        "coordinator": self.home.address,
+                        "acp": acp_name,
+                        "peers": peers,
+                    },
+                    timeout=self.config.vote_timeout,
+                    txn_id=self.txn.txn_id,
+                )
+                for participant in remote
+            ]
+            results = yield from self._gather(self._settle(event) for event in events)
+            for participant, result in zip(remote, results):
+                if isinstance(result, Exception):
+                    all_yes = False
+                    detail.append(f"{participant.site}: no vote ({result})")
+                    continue
+                payload = result.payload or {}
+                if not payload.get("vote"):
+                    all_yes = False
+                    detail.append(f"{participant.site}: {payload.get('reason', 'NO')}")
+        if all_yes and self.config.hit_failpoint("after_votes"):
+            # Crash before the decision is logged: participants that voted
+            # YES are left uncertain and the decision is *presumed abort*
+            # once the coordinator recovers.
+            self.home.crash()
+            raise Interrupt("failpoint: after_votes")
+        return all_yes, "; ".join(detail)
+
+    def _settle(self, event):
+        """Convert an RPC event into a value-or-exception (never raises)."""
+        try:
+            reply = yield event
+        except (RpcTimeout, NetworkError) as failure:
+            return failure
+        return reply
+
+    def broadcast(self, mtype: str, *, retries: Optional[int] = None):
+        """Send a decision/phase message to every participant, with retries.
+
+        The home participant is handled by direct local calls.  Remote
+        participants that never acknowledge are abandoned — they hold the
+        prepared state and will resolve it through DECISION_REQ.
+        Returns the number of participants that acknowledged.
+        """
+        attempts = self.config.ack_retries if retries is None else retries
+        acked = 0
+        remote = []
+        for participant in sorted(self.participants.values(), key=lambda p: p.site):
+            if participant.site == self.home.name:
+                self._local_decision(mtype)
+                acked += 1
+            else:
+                remote.append(participant)
+
+        results = yield from self._gather(
+            self._broadcast_one(participant, mtype, attempts) for participant in remote
+        )
+        acked += sum(1 for ok in results if ok)
+        if mtype == MessageType.PRECOMMIT and self.config.hit_failpoint("after_precommit"):
+            # Crash between PRECOMMIT and COMMIT: under 3PC the termination
+            # protocol lets the precommitted participants commit without us.
+            self.home.crash()
+            raise Interrupt("failpoint: after_precommit")
+        return acked
+
+    def _local_decision(self, mtype: str) -> None:
+        if mtype == MessageType.COMMIT:
+            self.home.local_commit(self.txn.txn_id)
+        elif mtype == MessageType.ABORT:
+            self.home.local_abort(self.txn.txn_id)
+        elif mtype == MessageType.PRECOMMIT:
+            self.home.local_precommit(self.txn.txn_id)
+
+    def _broadcast_one(self, participant: Participant, mtype: str, attempts: int):
+        for _attempt in range(max(1, attempts)):
+            try:
+                yield self.home.endpoint.request(
+                    participant.address,
+                    mtype,
+                    {"txn": self.txn.txn_id},
+                    timeout=self.config.ack_timeout,
+                    txn_id=self.txn.txn_id,
+                )
+                return True
+            except (RpcTimeout, NetworkError):
+                continue
+        return False
+
+    def log_decision(self, decision: str) -> None:
+        """Force the coordinator's decision record at the home site."""
+        if decision == "COMMIT":
+            self.home.wal.log_commit(self.txn.txn_id, self.sim.now)
+        else:
+            self.home.wal.log_abort(self.txn.txn_id, self.sim.now)
+        self.txn.decided_at = self.sim.now
+
+
+def run_transaction(ctx: TxnContext):
+    """Process one transaction end to end (RCP loop, then ACP).
+
+    Returns the transaction's final status string; all bookkeeping happens
+    on ``ctx.txn`` and through the monitor.
+    """
+    txn = ctx.txn
+    sim = ctx.sim
+    txn.started_at = sim.now
+    # Unique, arrival-ordered timestamps (TO protocols need uniqueness).
+    txn.ts = sim.now + (txn.txn_id % 1_000_000) * 1e-9
+    txn.status = TxnStatus.RUNNING
+    if ctx.monitor is not None:
+        ctx.monitor.txn_started(txn)
+
+    try:
+        for op in txn.ops:
+            if op.kind == OpKind.READ:
+                txn.reads[op.item] = yield from ctx.rcp.do_read(ctx, op.item)
+            elif op.kind == OpKind.INCREMENT:
+                current = yield from ctx.rcp.do_read(ctx, op.item)
+                txn.reads[op.item] = current
+                yield from ctx.rcp.do_write(ctx, op.item, current + op.value)
+            else:
+                yield from ctx.rcp.do_write(ctx, op.item, op.value)
+        yield from ctx.acp.run(ctx)
+        txn.status = TxnStatus.COMMITTED
+    except CommitAbort as abort:
+        # The ACP has already propagated the abort to the participants.
+        _mark_aborted(txn, abort, sim.now)
+    except TransactionAborted as abort:
+        _mark_aborted(txn, abort, sim.now)
+        try:
+            yield from ctx.broadcast(MessageType.ABORT, retries=1)
+        except Interrupt:
+            pass  # the home site crashed while cleaning up
+    except Interrupt:
+        _mark_aborted(txn, None, sim.now, cause="SYSTEM", detail="home site crashed")
+    finally:
+        txn.finished_at = sim.now
+        if txn.decided_at is None:
+            txn.decided_at = sim.now
+        if ctx.monitor is not None:
+            ctx.monitor.txn_finished(txn, ctx)
+    return txn.status
+
+
+def _mark_aborted(txn, abort, now, cause=None, detail=None):
+    txn.status = TxnStatus.ABORTED
+    txn.abort_cause = cause if cause is not None else abort.cause
+    txn.abort_detail = detail if detail is not None else abort.detail or str(abort)
+    if txn.decided_at is None:
+        txn.decided_at = now

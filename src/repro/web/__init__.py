@@ -1,0 +1,14 @@
+"""Web middle tier: ServletRunners, the six servlets, request envelopes."""
+
+from repro.web.requests import WebRequest, WebResponse
+from repro.web.servlets import Servlet, ServletRunner
+from repro.web.tier import DEFAULT_USERS, RainbowWebTier
+
+__all__ = [
+    "DEFAULT_USERS",
+    "RainbowWebTier",
+    "Servlet",
+    "ServletRunner",
+    "WebRequest",
+    "WebResponse",
+]

@@ -1,0 +1,71 @@
+"""Request/response envelopes of the web middle tier.
+
+GUI ↔ servlet traffic travels as ``WEB_REQUEST``/``WEB_REPLY`` messages
+whose payloads are these envelopes: a target servlet name, an action, and
+an argument dict.  An authenticated session token (issued by the login
+action) accompanies every request, reproducing the "Rainbow access
+authorization" of the demo page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["WebRequest", "WebResponse"]
+
+
+@dataclass
+class WebRequest:
+    """One GUI-originated request for a servlet."""
+
+    servlet: str
+    action: str
+    args: dict = field(default_factory=dict)
+    token: Optional[str] = None
+
+    def to_payload(self) -> dict:
+        return {
+            "servlet": self.servlet,
+            "action": self.action,
+            "args": self.args,
+            "token": self.token,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "WebRequest":
+        return cls(
+            servlet=payload.get("servlet", ""),
+            action=payload.get("action", ""),
+            args=payload.get("args", {}) or {},
+            token=payload.get("token"),
+        )
+
+
+@dataclass
+class WebResponse:
+    """A servlet's answer."""
+
+    ok: bool
+    data: Any = None
+    error: str = ""
+
+    def to_payload(self) -> dict:
+        return {"ok": self.ok, "data": self.data, "error": self.error}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "WebResponse":
+        payload = payload or {}
+        return cls(
+            ok=bool(payload.get("ok")),
+            data=payload.get("data"),
+            error=payload.get("error", ""),
+        )
+
+    @classmethod
+    def success(cls, data: Any = None) -> "WebResponse":
+        return cls(ok=True, data=data)
+
+    @classmethod
+    def failure(cls, error: str) -> "WebResponse":
+        return cls(ok=False, error=error)

@@ -1,0 +1,12 @@
+"""Workload generation: simulated and manual modes."""
+
+from repro.workload.generator import ManualWorkload, SubmissionOutcome, WorkloadGenerator
+from repro.workload.spec import MixClass, WorkloadSpec
+
+__all__ = [
+    "ManualWorkload",
+    "MixClass",
+    "SubmissionOutcome",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+]

@@ -1,0 +1,119 @@
+"""Workload specifications for the generator (the WLG panel's fields).
+
+A :class:`WorkloadSpec` captures everything the paper's simulated workload
+generation panel configures: how many transactions, how they arrive (open
+Poisson/uniform stream or a closed multiprogramming loop), their length and
+read/write mix, which items they touch (uniform, Zipf, or hotspot access),
+how home sites are picked, and what happens after an abort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import WorkloadError
+
+__all__ = ["MixClass", "WorkloadSpec"]
+
+
+@dataclass
+class MixClass:
+    """One transaction class of a heterogeneous workload mix.
+
+    Real workloads are rarely uniform: OLTP mixes short updates with long
+    read-only scans.  A mix class overrides the size/mix parameters of the
+    base spec; classes are drawn per transaction proportionally to
+    ``weight``.
+    """
+
+    weight: float
+    min_ops: int
+    max_ops: int
+    read_fraction: float
+    increment_fraction: float = 0.0
+    name: str = ""
+
+    def validate(self) -> None:
+        if self.weight <= 0:
+            raise WorkloadError(f"mix class weight must be positive, got {self.weight}")
+        if not 1 <= self.min_ops <= self.max_ops:
+            raise WorkloadError("mix class needs 1 <= min_ops <= max_ops")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise WorkloadError("mix class read_fraction must be in [0, 1]")
+        if not 0.0 <= self.increment_fraction <= 1.0:
+            raise WorkloadError("mix class increment_fraction must be in [0, 1]")
+
+ARRIVALS = ("poisson", "uniform", "closed")
+ACCESS_PATTERNS = ("uniform", "zipf", "hotspot")
+HOME_POLICIES = ("round_robin", "random", "weighted")
+
+
+@dataclass
+class WorkloadSpec:
+    """Parameters of one generated workload."""
+
+    n_transactions: int = 100
+    arrival: str = "poisson"
+    arrival_rate: float = 1.0  # transactions per time unit (open modes)
+    mpl: int = 8  # concurrent terminals (closed mode)
+    think_time: float = 0.0  # closed-mode delay between transactions
+    min_ops: int = 4
+    max_ops: int = 8
+    read_fraction: float = 0.75
+    # Of the non-read operations, this fraction become increments
+    # (read-modify-write with delta 1) instead of blind writes.
+    increment_fraction: float = 0.0
+    access: str = "uniform"
+    zipf_theta: float = 0.8
+    hotspot_fraction: float = 0.2  # fraction of items that are hot
+    hotspot_probability: float = 0.8  # probability an access goes hot
+    home_policy: str = "round_robin"
+    home_weights: Optional[dict[str, float]] = None
+    restart_on_abort: bool = False
+    max_restarts: int = 3
+    restart_delay: float = 5.0
+    result_timeout: float = 800.0  # WLG gives up waiting for TXN_RESULT
+    distinct_items: bool = True  # a txn touches each item at most once
+    # Heterogeneous workloads: when set, each transaction draws one class
+    # (weighted) whose size/mix parameters override the base fields above.
+    mix: Optional[list[MixClass]] = None
+
+    def validate(self) -> None:
+        """Raise :class:`WorkloadError` on inconsistent parameters."""
+        if self.n_transactions < 0:
+            raise WorkloadError("n_transactions must be >= 0")
+        if self.arrival not in ARRIVALS:
+            raise WorkloadError(f"arrival must be one of {ARRIVALS}, got {self.arrival!r}")
+        if self.arrival != "closed" and self.arrival_rate <= 0:
+            raise WorkloadError("arrival_rate must be positive for open arrivals")
+        if self.arrival == "closed" and self.mpl < 1:
+            raise WorkloadError("mpl must be >= 1 for the closed workload")
+        if not 1 <= self.min_ops <= self.max_ops:
+            raise WorkloadError("need 1 <= min_ops <= max_ops")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise WorkloadError("read_fraction must be in [0, 1]")
+        if not 0.0 <= self.increment_fraction <= 1.0:
+            raise WorkloadError("increment_fraction must be in [0, 1]")
+        if self.access not in ACCESS_PATTERNS:
+            raise WorkloadError(f"access must be one of {ACCESS_PATTERNS}")
+        if self.access == "zipf" and self.zipf_theta < 0:
+            raise WorkloadError("zipf_theta must be >= 0")
+        if self.access == "hotspot":
+            if not 0.0 < self.hotspot_fraction < 1.0:
+                raise WorkloadError("hotspot_fraction must be in (0, 1)")
+            if not 0.0 <= self.hotspot_probability <= 1.0:
+                raise WorkloadError("hotspot_probability must be in [0, 1]")
+        if self.home_policy not in HOME_POLICIES:
+            raise WorkloadError(f"home_policy must be one of {HOME_POLICIES}")
+        if self.home_policy == "weighted" and not self.home_weights:
+            raise WorkloadError("home_policy 'weighted' requires home_weights")
+        if self.max_restarts < 0:
+            raise WorkloadError("max_restarts must be >= 0")
+        if self.result_timeout <= 0:
+            raise WorkloadError("result_timeout must be positive")
+        if self.mix is not None:
+            if not self.mix:
+                raise WorkloadError("mix must have at least one class")
+            for mix_class in self.mix:
+                mix_class.validate()

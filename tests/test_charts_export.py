@@ -1,0 +1,126 @@
+"""Tests for ASCII charts and result export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments.common import ExperimentTable
+from repro.gui.charts import bar_chart, line_chart, series_chart
+from repro.monitor.export import (
+    statistics_to_json,
+    table_to_csv,
+    table_to_json,
+    timeseries_to_csv,
+    write_text,
+)
+from repro.monitor.stats import ProgressMonitor
+
+
+class TestLineChart:
+    def test_plots_points_within_frame(self):
+        chart = line_chart([0, 1, 2, 3], [0, 1, 4, 9], title="squares", height=8)
+        assert "squares" in chart
+        assert chart.count("*") == 4
+        assert "9" in chart and "0" in chart
+
+    def test_empty_series(self):
+        assert "(no data)" in line_chart([], [], title="t")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], [1])
+
+    def test_flat_series_does_not_crash(self):
+        chart = line_chart([0, 1, 2], [5, 5, 5])
+        assert chart.count("*") >= 1
+
+    def test_series_chart_uses_time_axis(self, sim, network):
+        monitor = ProgressMonitor(sim, network)
+        monitor.sample()
+        sim.timeout(10)
+        sim.run()
+        monitor.sample()
+        chart = series_chart(monitor.series, "messages")
+        assert "messages" in chart
+
+    def test_series_chart_unknown_key(self, sim, network):
+        monitor = ProgressMonitor(sim, network)
+        with pytest.raises(KeyError):
+            series_chart(monitor.series, "nope")
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        chart = bar_chart(["a", "b"], [10, 5], width=20)
+        lines = chart.splitlines()
+        bar_a = lines[0].count("#")
+        bar_b = lines[1].count("#")
+        assert bar_a == 2 * bar_b
+
+    def test_zero_values(self):
+        chart = bar_chart(["a"], [0])
+        assert "0" in chart
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart([], [], title="x")
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [])
+
+
+def sample_table():
+    table = ExperimentTable(title="T", columns=["x", "y"], notes="n")
+    table.add(x=1, y="a")
+    table.add(x=2, y="b")
+    return table
+
+
+class TestTableExport:
+    def test_csv_roundtrip(self, tmp_path):
+        table = sample_table()
+        text = table_to_csv(table, tmp_path / "t.csv")
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows == [{"x": "1", "y": "a"}, {"x": "2", "y": "b"}]
+        assert (tmp_path / "t.csv").read_text() == text
+
+    def test_json_roundtrip(self):
+        payload = json.loads(table_to_json(sample_table()))
+        assert payload["title"] == "T"
+        assert payload["rows"][0]["x"] == 1
+
+    def test_table_add_checks_columns(self):
+        table = ExperimentTable(title="T", columns=["x", "y"])
+        with pytest.raises(ValueError):
+            table.add(x=1)
+
+    def test_table_column_accessor(self):
+        assert sample_table().column("x") == [1, 2]
+
+    def test_to_text_contains_all(self):
+        text = sample_table().to_text()
+        assert "T" in text and "x" in text and "a" in text and "n" in text
+
+
+class TestStatisticsExport:
+    def test_statistics_json(self, sim, network, tmp_path):
+        monitor = ProgressMonitor(sim, network)
+        text = statistics_to_json(monitor.output_statistics(), tmp_path / "s.json")
+        payload = json.loads(text)
+        assert payload["committed"] == 0
+        assert (tmp_path / "s.json").exists()
+
+    def test_timeseries_csv(self, sim, network):
+        monitor = ProgressMonitor(sim, network)
+        monitor.sample()
+        monitor.sample()
+        text = timeseries_to_csv(monitor.series)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0][0] == "t"
+        assert len(rows) == 3
+
+    def test_write_text(self, tmp_path):
+        target = write_text("hello", tmp_path / "x.txt")
+        assert target.read_text() == "hello"

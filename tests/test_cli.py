@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dance"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "experiments:" in out
+        assert "qcmsg" in out
+        assert "deadlock" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "bogus"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_experiment_lb_with_csv(self, tmp_path, capsys):
+        target = tmp_path / "lb.csv"
+        assert main(["experiment", "lb", "--csv", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-LB" in out
+        assert target.exists()
+        assert "policy" in target.read_text()
+
+    def test_quickstart_small(self, capsys):
+        assert main(["quickstart", "--transactions", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Tx Processing Output" in out
+        assert "serializable: True" in out
+
+    def test_quickstart_chart(self, capsys):
+        assert main(["quickstart", "--transactions", "5", "--chart"]) == 0
+        assert "Committed transactions over time" in capsys.readouterr().out
+
+    def test_classroom_single(self, capsys):
+        assert main(["classroom", "crash-recovery"]) == 0
+        out = capsys.readouterr().out
+        assert "Assignment: crash-recovery" in out
+        assert "Assignment: deadlock" not in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", "--transactions", "8", "--out", str(target)]) == 0
+        text = target.read_text()
+        assert text.startswith("# Rainbow session report")
+        assert "## Output statistics" in text
+        assert "## Global execution history" in text
+
+    def test_report_to_stdout(self, capsys):
+        assert main(["report", "--transactions", "5"]) == 0
+        assert "# Rainbow session report" in capsys.readouterr().out
+
+    def test_panels(self, capsys):
+        assert main(["panels"]) == 0
+        out = capsys.readouterr().out
+        assert "Protocols Configuration" in out
+        assert "Database Replication Configuration" in out
+
+    def test_experiment_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "qcmsg", "avail", "ccp", "scale", "acp", "lb", "abl", "matrix",
+        }

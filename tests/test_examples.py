@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Tx Processing Output" in out
+        assert "one-copy serializable: True" in out
+
+    def test_classroom_session(self):
+        out = run_example("classroom_session.py")
+        assert "Classroom session with ACP = 2PC" in out
+        assert "Classroom session with ACP = 3PC" in out
+        assert "COMMITTED" in out
+        assert "logged in as 'student'" in out
+
+    def test_quorum_study_quick(self):
+        out = run_example("quorum_study.py", "--quick")
+        assert "EXP-QCMSG" in out
+        assert "EXP-AVAIL" in out
+        assert "advantage to QC" in out
+
+    def test_fault_tolerance_demo(self):
+        out = run_example("fault_tolerance_demo.py")
+        assert "participant crash & WAL recovery" in out
+        assert "orphans while coordinator is down: 2" in out
+        assert "network partition & heal" in out
+
+    def test_bank_transfers(self):
+        out = run_example("bank_transfers.py")
+        # Every correct protocol conserves money; NOCC must violate.
+        assert out.count("money conserved") == 4
+        assert "VIOLATED" in out
+        assert "serializable=False" in out  # only on the NOCC line

@@ -1,0 +1,160 @@
+"""Unit tests for the fault/recovery injector."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.faults import FaultInjector, FaultSchedule
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+
+
+class FakeTarget:
+    """Minimal Crashable."""
+
+    def __init__(self, name):
+        self.name = name
+        self.up = True
+        self.transitions = []
+
+    def crash(self):
+        self.up = False
+        self.transitions.append("crash")
+
+    def recover(self):
+        self.up = True
+        self.transitions.append("recover")
+
+
+@pytest.fixture
+def injector(sim, network):
+    return FaultInjector(sim, network)
+
+
+class TestRegistry:
+    def test_register_and_lookup(self, injector):
+        target = FakeTarget("s1")
+        injector.register(target)
+        assert injector.target("s1") is target
+        assert injector.targets() == ["s1"]
+
+    def test_duplicate_rejected(self, injector):
+        injector.register(FakeTarget("s1"))
+        with pytest.raises(ConfigurationError):
+            injector.register(FakeTarget("s1"))
+
+    def test_unknown_target_rejected(self, injector):
+        with pytest.raises(ConfigurationError):
+            injector.target("ghost")
+
+
+class TestScheduledFaults:
+    def test_crash_and_recover_at_times(self, sim, injector):
+        target = FakeTarget("s1")
+        injector.register(target)
+        injector.schedule_crash("s1", at=10)
+        injector.schedule_recovery("s1", at=20)
+        sim.run(until=15)
+        assert not target.up
+        sim.run(until=25)
+        assert target.up
+        assert [e.kind for e in injector.log] == ["crash", "recover"]
+        assert [e.time for e in injector.log] == [10, 20]
+
+    def test_crash_now(self, injector):
+        target = FakeTarget("s1")
+        injector.register(target)
+        injector.crash_now("s1")
+        assert not target.up
+
+    def test_schedule_in_past_fires_immediately(self, sim, injector):
+        target = FakeTarget("s1")
+        injector.register(target)
+        sim.run(until=10)
+        injector.schedule_crash("s1", at=5)
+        sim.run(until=10.1)
+        assert not target.up
+        assert injector.log[0].time == 10.0
+
+    def test_partition_and_heal_scheduled(self, sim, network, injector):
+        a = network.endpoint("h1", "a")
+        b = network.endpoint("h2", "b")
+        injector.schedule_partition([["h1"], ["h2"]], at=5)
+        injector.schedule_heal(at=15)
+        sim.run(until=6)
+        a.send(b.address, "X")
+        sim.run(until=16)
+        assert network.stats.dropped == 1
+        a.send(b.address, "X")
+        sim.run()
+        assert b.pending_count() == 1
+
+    def test_link_cut_with_restore(self, sim, network, injector):
+        a = network.endpoint("h1", "a")
+        b = network.endpoint("h2", "b")
+        injector.schedule_link_cut("h1", "h2", at=2, restore_at=8)
+        sim.run(until=3)
+        a.send(b.address, "X")
+        sim.run(until=9)
+        assert network.stats.dropped == 1
+        a.send(b.address, "X")
+        sim.run()
+        assert b.pending_count() == 1
+        kinds = [e.kind for e in injector.log]
+        assert kinds == ["link_cut", "link_restore"]
+
+    def test_restore_before_cut_rejected(self, injector):
+        with pytest.raises(ConfigurationError):
+            injector.schedule_link_cut("a", "b", at=10, restore_at=5)
+
+    def test_apply_schedule(self, sim, injector):
+        target = FakeTarget("s1")
+        injector.register(target)
+        schedule = FaultSchedule(crashes=[("s1", 3)], recoveries=[("s1", 6)])
+        injector.apply_schedule(schedule)
+        sim.run()
+        assert target.transitions == ["crash", "recover"]
+
+
+class TestRandomFaults:
+    def test_crash_recover_cycles(self, sim, injector):
+        target = FakeTarget("s1")
+        injector.register(target)
+        injector.random_crash_recover(["s1"], mttf=10, mttr=5, rng=random.Random(1), until=200)
+        sim.run()
+        assert injector.crash_count() >= 3
+        # Left healed at horizon.
+        assert target.up
+
+    def test_invalid_mttf_rejected(self, injector):
+        injector.register(FakeTarget("s1"))
+        with pytest.raises(ConfigurationError):
+            injector.random_crash_recover(["s1"], mttf=0, mttr=5, rng=random.Random(0))
+
+    def test_unknown_random_target_rejected(self, injector):
+        with pytest.raises(ConfigurationError):
+            injector.random_crash_recover(["ghost"], mttf=5, mttr=5, rng=random.Random(0))
+
+
+class TestDowntimeReport:
+    def test_downtime_accumulates(self, sim, injector):
+        target = FakeTarget("s1")
+        injector.register(target)
+        injector.schedule_crash("s1", at=10)
+        injector.schedule_recovery("s1", at=30)
+        injector.schedule_crash("s1", at=50)
+        injector.schedule_recovery("s1", at=55)
+        sim.run()
+        assert injector.downtime_report() == {"s1": 25.0}
+
+    def test_still_down_counts_to_now(self, sim, injector):
+        target = FakeTarget("s1")
+        injector.register(target)
+        injector.schedule_crash("s1", at=10)
+        sim.timeout(40)
+        sim.run()
+        assert injector.downtime_report() == {"s1": 30.0}
+
+    def test_empty_log_empty_report(self, injector):
+        assert injector.downtime_report() == {}

@@ -1,0 +1,120 @@
+"""Tests for the GUI applet façade details and the ASCII panels."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.gui.applet import GuiApplet, rainbow_url
+from repro.gui.panels import (
+    render_box,
+    render_functional_architecture,
+    render_login_panel,
+    render_manual_workload_panel,
+    render_physical_architecture,
+    render_protocol_panel,
+    render_replication_panel,
+    render_session_panel,
+    render_table,
+)
+from repro.monitor.stats import ProgressMonitor
+from repro.nameserver.catalog import Catalog
+from repro.txn.transaction import Operation, Transaction
+from repro.web.tier import RainbowWebTier
+from tests.conftest import quick_instance
+
+
+class TestUrl:
+    def test_rainbow_url_form(self):
+        assert rainbow_url("myhost") == "http://myhost:8080/RainbowDemo.html"
+        assert rainbow_url("h", port=9000) == "http://h:9000/RainbowDemo.html"
+
+    def test_applet_url_points_to_home(self):
+        instance = quick_instance(n_sites=2, n_items=4)
+        instance.start()
+        tier = RainbowWebTier(instance, home_host="rainbow-home")
+        applet = GuiApplet(tier)
+        assert applet.url == "http://rainbow-home:8080/RainbowDemo.html"
+        assert applet.home_address == "rainbow-home/servletrunner"
+
+
+class TestRenderPrimitives:
+    def test_box_contains_title_and_lines(self):
+        box = render_box("My Panel", ["line one", "line two"])
+        assert "My Panel" in box
+        assert "line one" in box
+        assert box.splitlines()[0].startswith("+--")
+        assert box.splitlines()[-1].startswith("+--") or box.splitlines()[-1].startswith("+-")
+
+    def test_box_truncates_long_lines(self):
+        box = render_box("T", ["x" * 500], width=40)
+        assert all(len(line) <= 42 for line in box.splitlines())
+
+    def test_table_aligns_columns(self):
+        lines = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        assert lines[0].startswith("a")
+        assert len(lines) == 4  # header, rule, two rows
+
+
+class TestPanels:
+    def test_login_panel_states(self):
+        panel = render_login_panel("home", "http://home:8080/RainbowDemo.html")
+        assert "awaiting authorization" in panel
+        admin = render_login_panel("home", "u", logged_in_as="admin")
+        assert "Administration" in admin
+        student = render_login_panel("home", "u", logged_in_as="student")
+        assert "Administration" not in student
+
+    def test_protocol_panel_marks_selection(self):
+        panel = render_protocol_panel(ProtocolConfig(rcp="ROWA", ccp="TSO", acp="3PC"))
+        assert "(o) ROWA" in panel
+        assert "( ) QC" in panel
+        assert "(o) TSO" in panel
+        assert "(o) 3PC" in panel
+
+    def test_replication_panel_grid(self):
+        catalog = Catalog()
+        catalog.add_item("a", placement={"s1": 2, "s2": 1})
+        catalog.add_item("b", placement={"s2": 1})
+        catalog.define_fragment("f", ["a"])
+        panel = render_replication_panel(catalog)
+        assert "v=2" in panel
+        assert "votes" in panel
+        assert "Fragments:" in panel
+        assert "f: a" in panel
+
+    def test_manual_workload_panel_shows_ops_and_outcomes(self):
+        txn = Transaction(ops=[Operation.read("x"), Operation.write("y", 3)],
+                          home_site="s1")
+        panel = render_manual_workload_panel([txn], {txn.txn_id: "COMMITTED"})
+        assert "r[x] w[y=3]" in panel
+        assert "COMMITTED" in panel
+
+    def test_session_panel_includes_stats_and_recent(self, sim, network):
+        monitor = ProgressMonitor(sim, network)
+        txn = Transaction(ops=[Operation.read("x")], home_site="s1")
+        txn.status = "COMMITTED"
+        txn.submitted_at, txn.decided_at = 0.0, 2.0
+        monitor.txn_finished(txn)
+        panel = render_session_panel(monitor.output_statistics(), monitor.records)
+        assert "Committed transactions" in panel
+        assert f"T{txn.txn_id}" in panel
+        assert "2.00" in panel
+
+    def test_functional_architecture_mentions_tiers(self):
+        panel = render_functional_architecture()
+        assert "GUI" in panel
+        assert "Web Middle Tier" in panel
+        assert "Rainbow Core" in panel
+        assert "NSRunnerlet" in panel
+
+    def test_physical_architecture_lists_hosts(self):
+        instance = quick_instance(n_sites=4, n_items=4, settle_time=5)
+        instance.start()
+        tier = RainbowWebTier(instance)
+        panel = render_physical_architecture(
+            tier.placement_table(),
+            sites_by_host={"host1": ["site1"]},
+            ns_host=instance.nameserver.host,
+        )
+        assert "rainbow-home:" in panel
+        assert "name server" in panel
+        assert "servletrunner" in panel or "auth" in panel

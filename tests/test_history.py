@@ -1,0 +1,146 @@
+"""Unit tests for histories and the serializability checker."""
+
+from repro.txn.history import HistoryRecorder, SerializationGraph
+
+
+class TestSerializationGraph:
+    def test_empty_graph_acyclic(self):
+        graph = SerializationGraph()
+        assert graph.find_cycle() is None
+        assert graph.topological_order() == []
+
+    def test_self_edge_ignored(self):
+        graph = SerializationGraph()
+        graph.add_edge(1, 1)
+        assert graph.find_cycle() is None
+
+    def test_chain_is_acyclic_with_order(self):
+        graph = SerializationGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        assert graph.find_cycle() is None
+        assert graph.topological_order() == [1, 2, 3]
+
+    def test_two_cycle_found(self):
+        graph = SerializationGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 1)
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        assert set(cycle) == {1, 2}
+        assert graph.topological_order() is None
+
+    def test_long_cycle_found(self):
+        graph = SerializationGraph()
+        for a, b in [(1, 2), (2, 3), (3, 4), (4, 1)]:
+            graph.add_edge(a, b)
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        assert set(cycle) == {1, 2, 3, 4}
+
+    def test_disconnected_components(self):
+        graph = SerializationGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(10, 11)
+        graph.add_edge(11, 10)
+        assert graph.find_cycle() is not None
+
+    def test_diamond_acyclic(self):
+        graph = SerializationGraph()
+        for a, b in [(1, 2), (1, 3), (2, 4), (3, 4)]:
+            graph.add_edge(a, b)
+        assert graph.find_cycle() is None
+        order = graph.topological_order()
+        assert order.index(1) < order.index(2) < order.index(4)
+        assert order.index(1) < order.index(3) < order.index(4)
+
+
+class TestHistoryRecorder:
+    def test_wr_edge(self):
+        recorder = HistoryRecorder()
+        recorder.record_commit(1, reads={}, writes={"x": 1})
+        recorder.record_commit(2, reads={"x": 1}, writes={})
+        graph = recorder.build_graph()
+        assert 2 in graph.edges[1]
+
+    def test_ww_edges_follow_version_order(self):
+        recorder = HistoryRecorder()
+        recorder.record_commit(5, reads={}, writes={"x": 2})
+        recorder.record_commit(4, reads={}, writes={"x": 1})
+        graph = recorder.build_graph()
+        assert 5 in graph.edges[4]
+
+    def test_rw_edge_to_next_writer(self):
+        recorder = HistoryRecorder()
+        recorder.record_commit(1, reads={"x": 0}, writes={})
+        recorder.record_commit(2, reads={}, writes={"x": 1})
+        graph = recorder.build_graph()
+        assert 2 in graph.edges[1]
+
+    def test_serial_history_passes(self):
+        recorder = HistoryRecorder()
+        recorder.record_commit(1, reads={"x": 0}, writes={"x": 1})
+        recorder.record_commit(2, reads={"x": 1}, writes={"x": 2})
+        recorder.record_commit(3, reads={"x": 2}, writes={})
+        ok, order = recorder.check_serializable()
+        assert ok
+        assert order == [1, 2, 3]
+
+    def test_lost_update_anomaly_detected(self):
+        """Classic lost update: both read v0, both write -> cycle."""
+        recorder = HistoryRecorder()
+        recorder.record_commit(1, reads={"x": 0}, writes={"x": 1})
+        recorder.record_commit(2, reads={"x": 0}, writes={"x": 2})
+        ok, cycle = recorder.check_serializable()
+        assert not ok
+        assert set(cycle) == {1, 2}
+
+    def test_write_skew_anomaly_detected(self):
+        """T1 reads x writes y; T2 reads y writes x — both from v0."""
+        recorder = HistoryRecorder()
+        recorder.record_commit(1, reads={"x": 0}, writes={"y": 1})
+        recorder.record_commit(2, reads={"y": 0}, writes={"x": 1})
+        ok, cycle = recorder.check_serializable()
+        assert not ok
+
+    def test_read_only_transactions_always_fit(self):
+        recorder = HistoryRecorder()
+        recorder.record_commit(1, reads={}, writes={"x": 1})
+        recorder.record_commit(2, reads={"x": 1}, writes={})
+        recorder.record_commit(3, reads={"x": 0}, writes={})
+        ok, _order = recorder.check_serializable()
+        assert ok
+
+    def test_reads_see_committed_versions_clean(self):
+        recorder = HistoryRecorder()
+        recorder.record_commit(1, reads={}, writes={"x": 1})
+        recorder.record_commit(2, reads={"x": 1}, writes={})
+        assert recorder.reads_see_committed_versions() == []
+
+    def test_reads_see_committed_versions_flags_phantom_version(self):
+        recorder = HistoryRecorder()
+        recorder.record_commit(2, reads={"x": 7}, writes={})
+        problems = recorder.reads_see_committed_versions()
+        assert len(problems) == 1
+        assert "x@7" in problems[0]
+
+    def test_initial_version_zero_is_fine(self):
+        recorder = HistoryRecorder()
+        recorder.record_commit(2, reads={"x": 0}, writes={})
+        assert recorder.reads_see_committed_versions() == []
+
+    def test_len_counts_commits(self):
+        recorder = HistoryRecorder()
+        assert len(recorder) == 0
+        recorder.record_commit(1, reads={}, writes={})
+        assert len(recorder) == 1
+
+    def test_multi_item_interleaving_acyclic(self):
+        recorder = HistoryRecorder()
+        recorder.record_commit(1, reads={"a": 0}, writes={"a": 1})
+        recorder.record_commit(2, reads={"b": 0}, writes={"b": 1})
+        recorder.record_commit(3, reads={"a": 1, "b": 1}, writes={})
+        ok, order = recorder.check_serializable()
+        assert ok
+        assert order.index(1) < order.index(3)
+        assert order.index(2) < order.index(3)

@@ -1,0 +1,143 @@
+"""Unit tests for per-site storage and the write-ahead log."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.site.storage import LocalStore
+from repro.site.wal import WriteAheadLog
+
+
+class TestLocalStore:
+    def test_create_and_read(self):
+        store = LocalStore("s1")
+        store.create_copy("x", initial_value=10)
+        assert store.read("x") == (10, 0)
+        assert store.has_copy("x")
+        assert store.items() == ["x"]
+        assert len(store) == 1
+
+    def test_duplicate_copy_rejected(self):
+        store = LocalStore("s1")
+        store.create_copy("x")
+        with pytest.raises(CatalogError):
+            store.create_copy("x")
+
+    def test_read_missing_copy_rejected(self):
+        with pytest.raises(CatalogError):
+            LocalStore("s1").read("ghost")
+
+    def test_apply_updates_value_and_version(self):
+        store = LocalStore("s1")
+        store.create_copy("x")
+        store.apply("x", 42, version=3, txn_id=7, at=1.0)
+        assert store.read("x") == (42, 3)
+        assert store.version("x") == 3
+        assert store.writes_applied == 1
+
+    def test_stale_version_ignored(self):
+        store = LocalStore("s1")
+        store.create_copy("x")
+        store.apply("x", 42, version=3, txn_id=7, at=1.0)
+        store.apply("x", 13, version=2, txn_id=8, at=2.0)
+        assert store.read("x") == (42, 3)
+
+    def test_equal_version_overwrites(self):
+        store = LocalStore("s1")
+        store.create_copy("x")
+        store.apply("x", 1, version=1, txn_id=1, at=0.0)
+        store.apply("x", 2, version=1, txn_id=2, at=0.0)
+        assert store.read("x")[0] == 2
+
+    def test_audit_log_records_writes(self):
+        store = LocalStore("s1")
+        store.create_copy("x")
+        store.apply("x", 5, version=1, txn_id=9, at=4.5)
+        record = store.audit_log[0]
+        assert (record.item, record.value, record.version, record.txn_id, record.at) == (
+            "x", 5, 1, 9, 4.5,
+        )
+
+    def test_reads_counted(self):
+        store = LocalStore("s1")
+        store.create_copy("x")
+        store.read("x")
+        store.read("x")
+        assert store.reads_served == 2
+
+    def test_snapshot_and_restore(self):
+        store = LocalStore("s1")
+        store.create_copy("x")
+        store.apply("x", 9, version=2, txn_id=1, at=0.0)
+        snap = store.snapshot()
+        other = LocalStore("s2")
+        other.load_snapshot(snap)
+        assert other.read("x") == (9, 2)
+
+
+class TestWriteAheadLog:
+    def test_lsns_increase(self):
+        wal = WriteAheadLog("s1")
+        r1 = wal.log_prepare(1, {"x": (5, 1)}, "c/addr", at=1.0)
+        r2 = wal.log_commit(1, at=2.0)
+        assert r2.lsn > r1.lsn
+        assert len(wal) == 2
+
+    def test_decision_for_latest(self):
+        wal = WriteAheadLog("s1")
+        wal.log_prepare(1, {}, None, at=0.0)
+        assert wal.decision_for(1) is None
+        wal.log_commit(1, at=1.0)
+        assert wal.decision_for(1) == "COMMIT"
+        assert wal.decision_for(2) is None
+
+    def test_abort_decision(self):
+        wal = WriteAheadLog("s1")
+        wal.log_prepare(1, {}, None, at=0.0)
+        wal.log_abort(1, at=1.0)
+        assert wal.decision_for(1) == "ABORT"
+
+    def test_recover_classifies_in_doubt(self):
+        wal = WriteAheadLog("s1")
+        wal.log_prepare(1, {"x": (5, 1)}, "coord/a", at=0.0, ts=3.5, acp="3PC",
+                        peers=["p1", "p2"])
+        wal.log_prepare(2, {"y": (7, 2)}, "coord/b", at=1.0)
+        wal.log_commit(2, at=2.0)
+        in_doubt, committed = wal.recover_state()
+        assert [d.txn_id for d in in_doubt] == [1]
+        doubt = in_doubt[0]
+        assert doubt.writes == {"x": (5, 1)}
+        assert doubt.coordinator == "coord/a"
+        assert doubt.ts == 3.5
+        assert doubt.acp == "3PC"
+        assert doubt.peers == ["p1", "p2"]
+        assert not doubt.precommitted
+        assert [r.txn_id for r in committed] == [2]
+
+    def test_recover_marks_precommitted(self):
+        wal = WriteAheadLog("s1")
+        wal.log_prepare(1, {}, None, at=0.0)
+        wal.log_precommit(1, at=0.5)
+        in_doubt, _committed = wal.recover_state()
+        assert in_doubt[0].precommitted
+
+    def test_recover_committed_in_lsn_order(self):
+        wal = WriteAheadLog("s1")
+        wal.log_prepare(2, {"y": (1, 1)}, None, at=0.0)
+        wal.log_prepare(1, {"x": (1, 1)}, None, at=0.0)
+        wal.log_commit(1, at=1.0)
+        wal.log_commit(2, at=1.0)
+        _in_doubt, committed = wal.recover_state()
+        assert [r.txn_id for r in committed] == [2, 1]  # prepare LSN order
+
+    def test_aborted_transactions_not_in_doubt(self):
+        wal = WriteAheadLog("s1")
+        wal.log_prepare(1, {}, None, at=0.0)
+        wal.log_abort(1, at=1.0)
+        in_doubt, committed = wal.recover_state()
+        assert in_doubt == []
+        assert committed == []
+
+    def test_empty_log_recovers_empty(self):
+        in_doubt, committed = WriteAheadLog("s1").recover_state()
+        assert in_doubt == []
+        assert committed == []

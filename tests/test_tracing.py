@@ -1,0 +1,110 @@
+"""Tests for execution tracing: local and global histories."""
+
+import pytest
+
+from repro.monitor.tracing import ExecutionTracer, TraceEvent, format_history
+from repro.txn.transaction import Operation, Transaction
+from tests.conftest import quick_instance
+
+
+class TestNotation:
+    def test_read_write_notation(self):
+        assert TraceEvent(0, "s", "read", 3, item="x").notation() == "r3[x]"
+        assert TraceEvent(0, "s", "prewrite", 3, item="x", value=7).notation() == "w3[x=7]"
+        assert TraceEvent(0, "s", "prepare", 3).notation() == "p3"
+        assert TraceEvent(0, "s", "precommit", 3).notation() == "pc3"
+        assert TraceEvent(0, "s", "commit", 3).notation() == "c3"
+        assert TraceEvent(0, "s", "abort", 3).notation() == "a3"
+
+    def test_format_history_orders_by_time(self):
+        events = [
+            TraceEvent(2.0, "s", "commit", 1),
+            TraceEvent(1.0, "s", "read", 1, item="x"),
+        ]
+        assert format_history(events) == "r1[x]  c1"
+
+    def test_format_history_truncates(self):
+        events = [TraceEvent(float(i), "s", "commit", i) for i in range(5)]
+        assert format_history(events, max_events=2) == "c0  c1"
+
+
+class TestTracerWithInstance:
+    def _traced_instance(self):
+        instance = quick_instance(n_items=8, settle_time=20)
+        instance.start()
+        tracer = ExecutionTracer(instance.sim)
+        tracer.attach_all(instance)
+        return instance, tracer
+
+    def test_committed_txn_leaves_full_trace(self):
+        instance, tracer = self._traced_instance()
+        txn = Transaction(
+            ops=[Operation.read("x1"), Operation.write("x3", 5)], home_site="site1"
+        )
+        process = instance.submit(txn)
+        instance.sim.run(until=process)
+        kinds = [event.kind for event in tracer.txn_events(txn.txn_id)]
+        assert "read" in kinds
+        assert "prewrite" in kinds
+        assert "prepare" in kinds
+        assert "commit" in kinds
+        assert "abort" not in kinds
+
+    def test_local_history_contains_only_site_events(self):
+        instance, tracer = self._traced_instance()
+        txn = Transaction(ops=[Operation.write("x1", 5)], home_site="site1")
+        process = instance.submit(txn)
+        instance.sim.run(until=process)
+        for site in instance.sites:
+            for event in tracer.local_events(site):
+                assert event.site == site
+
+    def test_global_history_merges_sites(self):
+        instance, tracer = self._traced_instance()
+        txn = Transaction(ops=[Operation.write("x1", 5)], home_site="site1")
+        process = instance.submit(txn)
+        instance.sim.run(until=process)
+        sites_seen = {event.site for event in tracer.global_events()}
+        assert len(sites_seen) >= 2  # home + at least one remote participant
+
+    def test_history_string_notation(self):
+        instance, tracer = self._traced_instance()
+        txn = Transaction(ops=[Operation.write("x1", 5)], home_site="site1")
+        process = instance.submit(txn)
+        instance.sim.run(until=process)
+        history = tracer.global_history()
+        assert f"w{txn.txn_id}[x1=5]" in history
+        assert f"c{txn.txn_id}" in history
+
+    def test_aborted_txn_traces_abort(self):
+        instance, tracer = self._traced_instance()
+        txn = Transaction(ops=[Operation.write("x1", 5)], home_site="site1")
+        instance.sites["site1"].cc.doom(txn.txn_id)
+        process = instance.submit(txn)
+        instance.sim.run(until=process)
+        instance.sim.run(until=instance.sim.now + 30)
+        kinds = [event.kind for event in tracer.txn_events(txn.txn_id)]
+        assert "commit" not in kinds
+
+    def test_attach_idempotent(self):
+        instance, tracer = self._traced_instance()
+        tracer.attach(instance.sites["site1"])  # second attach: no double wrap
+        txn = Transaction(ops=[Operation.read("x1")], home_site="site1")
+        process = instance.submit(txn)
+        instance.sim.run(until=process)
+        # One read event at the home site (QC also reads a second site,
+        # which is a different event, not a double-trace).
+        reads_at_home = [
+            e for e in tracer.txn_events(txn.txn_id)
+            if e.kind == "read" and e.site == "site1"
+        ]
+        assert len(reads_at_home) == 1
+
+    def test_operation_counts(self):
+        instance, tracer = self._traced_instance()
+        txn = Transaction(ops=[Operation.write("x1", 5)], home_site="site1")
+        process = instance.submit(txn)
+        instance.sim.run(until=process)
+        counts = tracer.operation_counts()
+        assert counts["prewrite"] >= 1
+        assert counts["commit"] >= 1
