@@ -1,0 +1,111 @@
+"""BENCH-KERNEL: events/sec microbenchmark of the discrete-event kernel.
+
+The kernel is the execution substrate under every site, coordinator, and
+experiment; its per-event overhead multiplies into everything the repo
+measures.  This benchmark drives the fast path three ways and reports
+events processed per wall-clock second, so the bench trajectory tracks
+kernel speed release over release:
+
+* ``timeout-chain`` — one process consuming a long chain of timeouts: the
+  pure schedule/pop/resume cycle.
+* ``ping-pong`` — two processes alternating timeouts and triggered events:
+  the callback/resume path under event handoff.
+* ``session`` — a small full Rainbow session: the kernel under real
+  protocol traffic, as reported by the monitor's own events/sec counter.
+"""
+
+import time
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.common import ExperimentTable, build_instance
+from repro.sim.kernel import Simulator
+from repro.workload.spec import WorkloadSpec
+
+
+def _timeout_chain(n: int) -> tuple[int, float]:
+    sim = Simulator()
+
+    def chain():
+        for _ in range(n):
+            yield sim.timeout(1.0)
+
+    sim.process(chain())
+    started = time.perf_counter()
+    sim.run()
+    return sim.processed_events, time.perf_counter() - started
+
+
+def _ping_pong(n: int) -> tuple[int, float]:
+    sim = Simulator()
+    pending = []
+
+    def ping():
+        for _ in range(n):
+            event = sim.event()
+            pending.append(event)
+            yield sim.timeout(0.5)
+            yield event
+
+    def pong():
+        while True:
+            yield sim.timeout(1.0)
+            if pending:
+                pending.pop().succeed(42)
+
+    ping_process = sim.process(ping())
+    sim.process(pong())
+    started = time.perf_counter()
+    sim.run(until=ping_process)
+    return sim.processed_events, time.perf_counter() - started
+
+
+def _session(n_txns: int) -> tuple[int, float, float]:
+    instance = build_instance(4, 32, 3, seed=5, settle_time=30.0)
+    spec = WorkloadSpec(
+        n_transactions=n_txns,
+        arrival="poisson",
+        arrival_rate=0.5,
+        min_ops=3,
+        max_ops=6,
+        read_fraction=0.7,
+    )
+    result = instance.run_workload(spec)
+    stats = result.statistics
+    return stats.processed_events, stats.wall_clock_seconds, stats.events_per_second
+
+
+def _kernel_bench(chain_n: int = 150_000, pong_n: int = 40_000, n_txns: int = 100):
+    table = ExperimentTable(
+        title="BENCH-KERNEL: kernel throughput (events per wall-clock second)",
+        columns=["workload", "events", "wall_s", "events_per_sec"],
+        notes="timeout-chain and ping-pong are pure-kernel; session is a full "
+        "Rainbow run self-reported by the progress monitor.",
+    )
+    events, wall = _timeout_chain(chain_n)
+    table.add(workload="timeout-chain", events=events, wall_s=wall,
+              events_per_sec=events / wall)
+    events, wall = _ping_pong(pong_n)
+    table.add(workload="ping-pong", events=events, wall_s=wall,
+              events_per_sec=events / wall)
+    events, wall, rate = _session(n_txns)
+    table.add(workload="session", events=events, wall_s=wall, events_per_sec=rate)
+    return table
+
+
+def test_kernel_events_per_second(benchmark):
+    table = run_once(benchmark, _kernel_bench)
+    emit(table.title, table.to_text())
+
+    rows = {row["workload"]: row for row in table.rows}
+    # Exact event counts pin kernel behavior: the chain processes one event
+    # per timeout plus the process bootstrap and completion.
+    assert rows["timeout-chain"]["events"] == 150_000 + 2
+    assert rows["ping-pong"]["events"] > 40_000
+    assert rows["session"]["events"] > 1_000
+    for row in table.rows:
+        assert row["wall_s"] > 0
+        assert row["events_per_sec"] > 0
+    # The monitor's self-report is wired through OutputStatistics.
+    assert rows["session"]["events_per_sec"] == (
+        rows["session"]["events"] / rows["session"]["wall_s"]
+    )

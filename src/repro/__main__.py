@@ -1,7 +1,13 @@
-"""``python -m repro`` dispatches to the CLI."""
+"""``python -m repro`` dispatches to the CLI.
+
+The ``__main__`` guard is load-bearing: spawn-based worker processes
+(the parallel experiment runner) re-import the parent's main module, and
+must not re-enter the CLI when they do.
+"""
 
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

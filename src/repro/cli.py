@@ -4,8 +4,10 @@ Commands:
 
 * ``quickstart`` — run the default session and print the Figure-5 panel.
 * ``experiment <id>`` — regenerate one experiment table (EXPERIMENTS.md
-  ids: qcmsg, avail, ccp, scale, acp, lb, abl) and print it; ``--csv FILE``
-  additionally exports it.
+  ids: qcmsg, avail, ccp, scale, acp, lb, abl, matrix) and print it;
+  ``--csv FILE`` additionally exports it, ``--json`` prints JSON instead of
+  text, and ``-j N`` fans the sweep's independent sessions out across N
+  worker processes (byte-identical output for every N).
 * ``classroom [name]`` — run all (or one) lab assignment and print the
   reports.
 * ``panels`` — print the configuration panels of the default instance.
@@ -56,12 +58,23 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    import inspect
+
     run = EXPERIMENTS.get(args.id)
     if run is None:
         print(f"unknown experiment {args.id!r}; try: {', '.join(sorted(EXPERIMENTS))}")
         return 2
-    table = run()
-    print(table.to_text())
+    kwargs = {}
+    if "n_jobs" in inspect.signature(run).parameters:
+        kwargs["n_jobs"] = args.jobs
+    elif args.jobs != 1:
+        print(f"note: experiment {args.id!r} is not a sweep; running serially",
+              file=sys.stderr)
+    table = run(**kwargs)
+    if args.json:
+        print(table.to_json())
+    else:
+        print(table.to_text())
     if args.csv:
         from repro.monitor.export import table_to_csv
 
@@ -164,6 +177,15 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = commands.add_parser("experiment", help="regenerate one experiment")
     experiment.add_argument("id", help=f"one of: {', '.join(sorted(EXPERIMENTS))}")
     experiment.add_argument("--csv", default=None, help="export the table as CSV")
+    experiment.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for sweep experiments (0 or -1 = all cores); "
+        "results are identical for every N",
+    )
+    experiment.add_argument(
+        "--json", action="store_true",
+        help="print the table as JSON instead of fixed-width text",
+    )
     experiment.set_defaults(fn=_cmd_experiment)
 
     report = commands.add_parser("report", help="run a session, emit a markdown report")

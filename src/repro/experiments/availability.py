@@ -17,9 +17,53 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.experiments.common import ExperimentTable, build_instance
+from repro.experiments.runner import sweep
 from repro.workload.spec import WorkloadSpec
 
 __all__ = ["run"]
+
+
+def _trial(
+    rcp: str,
+    mttf: float | None,
+    repetition: int,
+    mttr: float,
+    n_txns: int,
+    n_sites: int,
+    n_items: int,
+    seed: int,
+) -> tuple:
+    """One session at a single (RCP, MTTF, repetition) point."""
+    instance = build_instance(
+        n_sites,
+        n_items,
+        n_sites,  # full replication
+        rcp=rcp,
+        seed=seed + 1000 * repetition,
+        failure_profile=True,
+        settle_time=80.0,
+    )
+    if mttf is not None:
+        instance.config.faults.random_targets = instance.config.site_names()
+        instance.config.faults.mttf = mttf
+        instance.config.faults.mttr = mttr
+        instance.config.faults.horizon = 900.0
+    spec = WorkloadSpec(
+        n_transactions=n_txns,
+        arrival="poisson",
+        arrival_rate=0.15,
+        min_ops=3,
+        max_ops=5,
+        read_fraction=0.25,  # write-heavy: write-all is the weakness
+    )
+    result = instance.run_workload(spec)
+    stats = result.statistics
+    return (
+        stats.commit_rate,
+        stats.abort_rates_by_cause.get("RCP", 0.0),
+        instance.injector.crash_count(),
+        stats.orphan_events,
+    )
 
 
 def run(
@@ -31,6 +75,7 @@ def run(
     seed: int = 11,
     rcps: Sequence[str] = ("ROWA", "ROWAA", "QC"),
     repetitions: int = 1,
+    n_jobs: int | None = 1,
 ) -> ExperimentTable:
     """Sweep failure intensity across the RCPs (full replication).
 
@@ -51,51 +96,27 @@ def run(
         ],
         notes="Full replication over 5 sites; random crash/recover on all sites.",
     )
-    for rcp in rcps:
-        for mttf in mttfs:
-            samples = []
-            for repetition in range(max(repetitions, 1)):
-                instance = build_instance(
-                    n_sites,
-                    n_items,
-                    n_sites,  # full replication
-                    rcp=rcp,
-                    seed=seed + 1000 * repetition,
-                    failure_profile=True,
-                    settle_time=80.0,
-                )
-                if mttf is not None:
-                    instance.config.faults.random_targets = (
-                        instance.config.site_names()
-                    )
-                    instance.config.faults.mttf = mttf
-                    instance.config.faults.mttr = mttr
-                    instance.config.faults.horizon = 900.0
-                spec = WorkloadSpec(
-                    n_transactions=n_txns,
-                    arrival="poisson",
-                    arrival_rate=0.15,
-                    min_ops=3,
-                    max_ops=5,
-                    read_fraction=0.25,  # write-heavy: write-all is the weakness
-                )
-                result = instance.run_workload(spec)
-                stats = result.statistics
-                samples.append(
-                    (
-                        stats.commit_rate,
-                        stats.abort_rates_by_cause.get("RCP", 0.0),
-                        instance.injector.crash_count(),
-                        stats.orphan_events,
-                    )
-                )
-            count = len(samples)
-            table.add(
-                rcp=rcp,
-                mttf="inf" if mttf is None else mttf,
-                commit_rate=sum(s[0] for s in samples) / count,
-                rcp_abort_rate=sum(s[1] for s in samples) / count,
-                crashes=round(sum(s[2] for s in samples) / count),
-                orphan_events=round(sum(s[3] for s in samples) / count),
-            )
+    repetitions = max(repetitions, 1)
+    points = [
+        {"rcp": rcp, "mttf": mttf, "repetition": repetition}
+        for rcp in rcps
+        for mttf in mttfs
+        for repetition in range(repetitions)
+    ]
+    samples = sweep(
+        _trial, points, n_jobs=n_jobs,
+        mttr=mttr, n_txns=n_txns, n_sites=n_sites, n_items=n_items, seed=seed,
+    )
+    for index in range(0, len(points), repetitions):
+        point = points[index]
+        group = samples[index:index + repetitions]
+        count = len(group)
+        table.add(
+            rcp=point["rcp"],
+            mttf="inf" if point["mttf"] is None else point["mttf"],
+            commit_rate=sum(s[0] for s in group) / count,
+            rcp_abort_rate=sum(s[1] for s in group) / count,
+            crashes=round(sum(s[2] for s in group) / count),
+            orphan_events=round(sum(s[3] for s in group) / count),
+        )
     return table

@@ -9,6 +9,7 @@ way the paper's experiments configure their network simulation.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -71,6 +72,22 @@ class ExperimentTable:
         if self.notes:
             lines += ["", self.notes]
         return "\n".join(lines)
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Machine-readable rendering for bench tooling.
+
+        Keys appear in a fixed order (title, columns, rows, notes; row keys
+        in column order), so the same rows always serialise to the same
+        bytes — the property the parallel runner's determinism guarantee
+        extends to ``--json`` output.
+        """
+        payload = {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [{col: row[col] for col in self.columns} for row in self.rows],
+            "notes": self.notes,
+        }
+        return json.dumps(payload, indent=indent)
 
 
 def build_instance(

@@ -10,9 +10,45 @@ transaction shares, messages handled, and the imbalance coefficient
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentTable, build_instance
+from repro.experiments.runner import sweep
 from repro.workload.spec import WorkloadSpec
 
 __all__ = ["run"]
+
+
+def _trial(
+    policy: str,
+    weights: dict | None,
+    n_txns: int,
+    n_sites: int,
+    n_items: int,
+    seed: int,
+) -> dict:
+    """One session under a single home-site selection policy."""
+    instance = build_instance(n_sites, n_items, 3, seed=seed, settle_time=40.0)
+    spec = WorkloadSpec(
+        n_transactions=n_txns,
+        arrival="poisson",
+        arrival_rate=0.4,
+        min_ops=3,
+        max_ops=5,
+        read_fraction=0.75,
+        home_policy=policy,
+        home_weights=weights,
+    )
+    result = instance.run_workload(spec)
+    stats = result.statistics
+    total = max(sum(stats.home_txns_by_site.values()), 1)
+    shares = {
+        site: round(count / total, 3)
+        for site, count in sorted(stats.home_txns_by_site.items())
+    }
+    return {
+        "policy": policy,
+        "home_shares": str(shares),
+        "imbalance_cv": stats.load_imbalance,
+        "max_site_share": max(shares.values()),
+    }
 
 
 def run(
@@ -20,6 +56,7 @@ def run(
     n_sites: int = 4,
     n_items: int = 32,
     seed: int = 53,
+    n_jobs: int | None = 1,
 ) -> ExperimentTable:
     """Round-robin vs weighted home-site selection."""
     table = ExperimentTable(
@@ -27,33 +64,17 @@ def run(
         columns=["policy", "home_shares", "imbalance_cv", "max_site_share"],
         notes="home_shares lists each site's fraction of home transactions.",
     )
-    policies = [
-        ("round_robin", None),
-        ("weighted", {"site1": 0.7, "site2": 0.1, "site3": 0.1, "site4": 0.1}),
+    points = [
+        {"policy": "round_robin", "weights": None},
+        {
+            "policy": "weighted",
+            "weights": {"site1": 0.7, "site2": 0.1, "site3": 0.1, "site4": 0.1},
+        },
     ]
-    for policy, weights in policies:
-        instance = build_instance(n_sites, n_items, 3, seed=seed, settle_time=40.0)
-        spec = WorkloadSpec(
-            n_transactions=n_txns,
-            arrival="poisson",
-            arrival_rate=0.4,
-            min_ops=3,
-            max_ops=5,
-            read_fraction=0.75,
-            home_policy=policy,
-            home_weights=weights,
-        )
-        result = instance.run_workload(spec)
-        stats = result.statistics
-        total = max(sum(stats.home_txns_by_site.values()), 1)
-        shares = {
-            site: round(count / total, 3)
-            for site, count in sorted(stats.home_txns_by_site.items())
-        }
-        table.add(
-            policy=policy,
-            home_shares=str(shares),
-            imbalance_cv=stats.load_imbalance,
-            max_site_share=max(shares.values()),
-        )
+    rows = sweep(
+        _trial, points, n_jobs=n_jobs,
+        n_txns=n_txns, n_sites=n_sites, n_items=n_items, seed=seed,
+    )
+    for row in rows:
+        table.add(**row)
     return table

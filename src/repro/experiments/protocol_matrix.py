@@ -13,9 +13,39 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.experiments.common import ExperimentTable, build_instance
+from repro.experiments.runner import sweep
 from repro.workload.spec import WorkloadSpec
 
 __all__ = ["run"]
+
+
+def _trial(
+    rcp: str, ccp: str, acp: str, n_txns: int, n_sites: int, n_items: int, seed: int
+) -> dict:
+    """One self-contained session for a single (RCP, CCP, ACP) point."""
+    instance = build_instance(
+        n_sites, n_items, 3, rcp=rcp, ccp=ccp, acp=acp,
+        seed=seed, settle_time=50.0,
+    )
+    spec = WorkloadSpec(
+        n_transactions=n_txns,
+        arrival="poisson",
+        arrival_rate=0.4,
+        min_ops=3,
+        max_ops=6,
+        read_fraction=0.7,
+    )
+    result = instance.run_workload(spec)
+    stats = result.statistics
+    return {
+        "rcp": rcp,
+        "ccp": ccp,
+        "acp": acp,
+        "commit_rate": stats.commit_rate,
+        "msgs_per_txn": stats.mean_messages_per_txn,
+        "mean_rt": stats.mean_response_time or 0.0,
+        "serializable": bool(result.serializable),
+    }
 
 
 def run(
@@ -26,6 +56,7 @@ def run(
     n_sites: int = 4,
     n_items: int = 32,
     seed: int = 77,
+    n_jobs: int | None = 1,
 ) -> ExperimentTable:
     """One session per (RCP, CCP, ACP) combination."""
     table = ExperimentTable(
@@ -41,30 +72,16 @@ def run(
         ],
         notes="Same Poisson workload for every combination; seeds fixed.",
     )
-    for rcp in rcps:
-        for ccp in ccps:
-            for acp in acps:
-                instance = build_instance(
-                    n_sites, n_items, 3, rcp=rcp, ccp=ccp, acp=acp,
-                    seed=seed, settle_time=50.0,
-                )
-                spec = WorkloadSpec(
-                    n_transactions=n_txns,
-                    arrival="poisson",
-                    arrival_rate=0.4,
-                    min_ops=3,
-                    max_ops=6,
-                    read_fraction=0.7,
-                )
-                result = instance.run_workload(spec)
-                stats = result.statistics
-                table.add(
-                    rcp=rcp,
-                    ccp=ccp,
-                    acp=acp,
-                    commit_rate=stats.commit_rate,
-                    msgs_per_txn=stats.mean_messages_per_txn,
-                    mean_rt=stats.mean_response_time or 0.0,
-                    serializable=bool(result.serializable),
-                )
+    points = [
+        {"rcp": rcp, "ccp": ccp, "acp": acp}
+        for rcp in rcps
+        for ccp in ccps
+        for acp in acps
+    ]
+    rows = sweep(
+        _trial, points, n_jobs=n_jobs,
+        n_txns=n_txns, n_sites=n_sites, n_items=n_items, seed=seed,
+    )
+    for row in rows:
+        table.add(**row)
     return table

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.experiments.common import ExperimentTable, build_instance
+from repro.experiments.runner import sweep
 from repro.net.message import MessageType
 from repro.workload.spec import WorkloadSpec
 
@@ -31,6 +32,48 @@ __all__ = ["run"]
 DATA_TYPES = MessageType.DATA_CATEGORY | MessageType.COMMIT_CATEGORY
 
 
+def _trial(
+    rcp: str,
+    read_fraction: float,
+    degree: int,
+    n_txns: int,
+    n_sites: int,
+    n_items: int,
+    seed: int,
+) -> dict:
+    """One traffic-accounting session at a single (RCP, mix, degree) point."""
+    instance = build_instance(
+        n_sites, n_items, degree, rcp=rcp, seed=seed, settle_time=50.0
+    )
+    instance.start()
+    before = dict(instance.network.stats.by_type)
+    before_rt = instance.network.stats.round_trips
+    spec = WorkloadSpec(
+        n_transactions=n_txns,
+        arrival="poisson",
+        arrival_rate=0.2,
+        min_ops=4,
+        max_ops=6,
+        read_fraction=read_fraction,
+    )
+    result = instance.run_workload(spec)
+    after = instance.network.stats.by_type
+    data_msgs = sum(
+        after.get(mtype, 0) - before.get(mtype, 0) for mtype in DATA_TYPES
+    )
+    finished = max(result.statistics.finished, 1)
+    return {
+        "rcp": rcp,
+        "read_fraction": read_fraction,
+        "degree": degree,
+        "msgs_per_txn": data_msgs / finished,
+        "round_trips_per_txn": (
+            (instance.network.stats.round_trips - before_rt) / finished
+        ),
+        "commit_rate": result.statistics.commit_rate,
+    }
+
+
 def run(
     degrees: Sequence[int] = (1, 2, 3, 5, 7),
     read_fractions: Sequence[float] = (0.2, 0.8),
@@ -38,6 +81,7 @@ def run(
     n_sites: int = 8,
     n_items: int = 96,
     seed: int = 7,
+    n_jobs: int | None = 1,
 ) -> ExperimentTable:
     """Sweep replication degree × read mix for ROWA and QC."""
     table = ExperimentTable(
@@ -55,37 +99,16 @@ def run(
             "web/NS/WLG overhead excluded."
         ),
     )
-    for read_fraction in read_fractions:
-        for rcp in ("ROWA", "QC"):
-            for degree in degrees:
-                instance = build_instance(
-                    n_sites, n_items, degree, rcp=rcp, seed=seed, settle_time=50.0
-                )
-                instance.start()
-                before = dict(instance.network.stats.by_type)
-                before_rt = instance.network.stats.round_trips
-                spec = WorkloadSpec(
-                    n_transactions=n_txns,
-                    arrival="poisson",
-                    arrival_rate=0.2,
-                    min_ops=4,
-                    max_ops=6,
-                    read_fraction=read_fraction,
-                )
-                result = instance.run_workload(spec)
-                after = instance.network.stats.by_type
-                data_msgs = sum(
-                    after.get(mtype, 0) - before.get(mtype, 0) for mtype in DATA_TYPES
-                )
-                finished = max(result.statistics.finished, 1)
-                table.add(
-                    rcp=rcp,
-                    read_fraction=read_fraction,
-                    degree=degree,
-                    msgs_per_txn=data_msgs / finished,
-                    round_trips_per_txn=(
-                        (instance.network.stats.round_trips - before_rt) / finished
-                    ),
-                    commit_rate=result.statistics.commit_rate,
-                )
+    points = [
+        {"rcp": rcp, "read_fraction": read_fraction, "degree": degree}
+        for read_fraction in read_fractions
+        for rcp in ("ROWA", "QC")
+        for degree in degrees
+    ]
+    rows = sweep(
+        _trial, points, n_jobs=n_jobs,
+        n_txns=n_txns, n_sites=n_sites, n_items=n_items, seed=seed,
+    )
+    for row in rows:
+        table.add(**row)
     return table

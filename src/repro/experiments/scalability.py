@@ -13,9 +13,42 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.experiments.common import ExperimentTable, build_instance
+from repro.experiments.runner import sweep
 from repro.workload.spec import WorkloadSpec
 
 __all__ = ["run"]
+
+
+def _trial(
+    n_sites: int, txns_per_site: int, mpl_per_site: int, n_items_per_site: int, seed: int
+) -> dict:
+    """One scale point: a closed workload proportional to the site count."""
+    degree = min(3, n_sites)
+    instance = build_instance(
+        n_sites,
+        n_items_per_site * n_sites,
+        degree,
+        seed=seed,
+        settle_time=50.0,
+    )
+    spec = WorkloadSpec(
+        n_transactions=txns_per_site * n_sites,
+        arrival="closed",
+        mpl=mpl_per_site * n_sites,
+        min_ops=3,
+        max_ops=5,
+        read_fraction=0.75,
+    )
+    result = instance.run_workload(spec)
+    stats = result.statistics
+    return {
+        "sites": n_sites,
+        "mpl": mpl_per_site * n_sites,
+        "throughput": stats.throughput,
+        "mean_rt": stats.mean_response_time or 0.0,
+        "commit_rate": stats.commit_rate,
+        "msgs_per_txn": stats.messages_total / max(stats.finished, 1),
+    }
 
 
 def run(
@@ -24,6 +57,7 @@ def run(
     mpl_per_site: int = 2,
     n_items_per_site: int = 12,
     seed: int = 31,
+    n_jobs: int | None = 1,
 ) -> ExperimentTable:
     """Scale the site count with proportional load and database size."""
     table = ExperimentTable(
@@ -42,31 +76,11 @@ def run(
             "scale-out trend reads from 2 sites upward."
         ),
     )
-    for n_sites in site_counts:
-        degree = min(3, n_sites)
-        instance = build_instance(
-            n_sites,
-            n_items_per_site * n_sites,
-            degree,
-            seed=seed,
-            settle_time=50.0,
-        )
-        spec = WorkloadSpec(
-            n_transactions=txns_per_site * n_sites,
-            arrival="closed",
-            mpl=mpl_per_site * n_sites,
-            min_ops=3,
-            max_ops=5,
-            read_fraction=0.75,
-        )
-        result = instance.run_workload(spec)
-        stats = result.statistics
-        table.add(
-            sites=n_sites,
-            mpl=mpl_per_site * n_sites,
-            throughput=stats.throughput,
-            mean_rt=stats.mean_response_time or 0.0,
-            commit_rate=stats.commit_rate,
-            msgs_per_txn=stats.messages_total / max(stats.finished, 1),
-        )
+    rows = sweep(
+        _trial, [{"n_sites": n_sites} for n_sites in site_counts], n_jobs=n_jobs,
+        txns_per_site=txns_per_site, mpl_per_site=mpl_per_site,
+        n_items_per_site=n_items_per_site, seed=seed,
+    )
+    for row in rows:
+        table.add(**row)
     return table

@@ -44,6 +44,9 @@ def session_report(
         f"{len({s.host for s in instance.sites.values()})} hosts, "
         f"{len(instance.catalog)} items",
         f"- Simulated duration: {result.duration:.1f} time units",
+        f"- Simulator: {stats.processed_events} kernel events in "
+        f"{stats.wall_clock_seconds:.3f}s wall clock "
+        f"({stats.events_per_second:,.0f} events/sec)",
         f"- Committed history one-copy serializable: **{result.serializable}**",
     ]
     if result.serialization_cycle:

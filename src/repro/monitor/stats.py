@@ -19,6 +19,7 @@ sessions can plot progress over simulated time (the GUI's Display menu).
 from __future__ import annotations
 
 import statistics as stats_lib
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Optional
@@ -80,6 +81,13 @@ class OutputStatistics:
     home_txns_by_site: dict[str, int]
     messages_handled_by_site: dict[str, int]
     load_imbalance: float  # coefficient of variation of per-site home txns
+    # Simulator self-measurement: how fast the kernel ran this session in
+    # real time.  These depend on the host machine — unlike every field
+    # above, they are NOT deterministic and are excluded from experiment
+    # tables, which must stay byte-identical run to run.
+    processed_events: int = 0
+    wall_clock_seconds: float = 0.0
+    events_per_second: float = 0.0
 
     def as_rows(self) -> list[tuple[str, str]]:
         """(label, value) rows, in the order the Figure 5 panel lists them."""
@@ -122,6 +130,9 @@ class OutputStatistics:
             ("Orphan events (cumulative)", fmt(self.orphan_events)),
             ("Orphans resolved", fmt(self.orphans_resolved)),
             ("Load imbalance (CV of home txns)", fmt(self.load_imbalance)),
+            ("Kernel events processed", fmt(self.processed_events)),
+            ("Wall clock (s)", fmt(self.wall_clock_seconds)),
+            ("Kernel events per second", f"{self.events_per_second:,.0f}"),
         ]
         return rows
 
@@ -149,6 +160,10 @@ class ProgressMonitor:
         self.aborts_by_cause: Counter[str] = Counter()
         self.response_times: list[float] = []
         self.session_started_at = sim.now
+        # Wall-clock/event baselines so the session self-reports simulator
+        # performance (events/sec) alongside the paper's statistics.
+        self._wall_started = time.perf_counter()
+        self._events_at_start = sim.processed_events
         # Per-transaction message attribution (messages tagged txn_id).
         self._txn_messages: Counter[int] = Counter()
         network.add_observer(self._observe_message)
@@ -240,6 +255,9 @@ class ProgressMonitor:
         median_rt = stats_lib.median(response) if response else None
         p95_rt = response[min(len(response) - 1, int(0.95 * len(response)))] if response else None
 
+        wall_clock = max(time.perf_counter() - self._wall_started, 1e-9)
+        processed = self.sim.processed_events - self._events_at_start
+
         home_by_site = {site.name: site.stats.home_txns_started for site in self.sites}
         handled_by_site = {site.name: site.stats.messages_handled for site in self.sites}
         orphan_events = sum(site.stats.orphan_events for site in self.sites)
@@ -276,6 +294,9 @@ class ProgressMonitor:
             home_txns_by_site=home_by_site,
             messages_handled_by_site=handled_by_site,
             load_imbalance=self._imbalance(list(home_by_site.values())),
+            processed_events=processed,
+            wall_clock_seconds=wall_clock,
+            events_per_second=processed / wall_clock,
         )
 
     @staticmethod

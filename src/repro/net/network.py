@@ -21,6 +21,7 @@ unit" and "round trip messages" exactly as the paper lists.
 
 from __future__ import annotations
 
+import itertools
 import random
 from collections import Counter, deque
 from typing import Callable, Iterable, Optional
@@ -79,6 +80,8 @@ class Endpoint:
         self._queue: deque[Message] = deque()
         self._receivers: deque[Event] = deque()
         self._pending_rpcs: dict[int, Event] = {}
+        # Receive events are created per message; format their label once.
+        self._recv_name = f"recv:{self.address}"
 
     # -- lifecycle ----------------------------------------------------------
     def set_down(self) -> None:
@@ -106,7 +109,7 @@ class Endpoint:
     # -- receive path ---------------------------------------------------------
     def receive(self) -> Event:
         """Event that fires with the next incoming request message."""
-        event = self.network.sim.event(name=f"recv:{self.address}")
+        event = self.network.sim.event(name=self._recv_name)
         if self._queue:
             event.succeed(self._queue.popleft())
         else:
@@ -183,22 +186,27 @@ class Endpoint:
         """
         if timeout <= 0:
             raise SimulationError(f"rpc timeout must be positive, got {timeout}")
-        result = self.network.sim.event(name=f"rpc:{mtype}->{dst}")
+        result = self.network.sim.event(name=mtype)
         msg = self.send(dst, mtype, payload, txn_id=txn_id, size=size)
         self._pending_rpcs[msg.msg_id] = result
 
-        def _expire(_timer: Event) -> None:
+        def _expire() -> None:
             pending = self._pending_rpcs.pop(msg.msg_id, None)
             if pending is not None and not pending.triggered:
                 self.network.stats.rpc_timeouts += 1
                 pending.fail(RpcTimeout(f"{mtype} to {dst} timed out", destination=dst))
 
-        self.network.sim.timeout(timeout).add_callback(_expire)
+        self.network.sim.defer(timeout, _expire)
         return result
 
 
 class Network:
     """Simulated message-passing network with latency, partitions and loss."""
+
+    #: Counter decorrelating the default RNGs of networks built without an
+    #: explicit ``rng``/``seed``: every instantiation draws a fresh seed, so
+    #: two networks in one process never share loss/latency decisions.
+    _default_seed_counter = itertools.count()
 
     def __init__(
         self,
@@ -207,14 +215,24 @@ class Network:
         rng: random.Random | None = None,
         loss_rate: float = 0.0,
         host_service_time: float = 0.0,
+        seed: int | None = None,
     ):
         if not 0.0 <= loss_rate < 1.0:
             raise NetworkError(f"loss_rate must be in [0, 1), got {loss_rate}")
         if host_service_time < 0:
             raise NetworkError("host_service_time must be >= 0")
+        if rng is not None and seed is not None:
+            raise NetworkError("pass either rng or seed, not both")
         self.sim = sim
         self.latency = latency or ConstantLatency(1.0)
-        self.rng = rng or random.Random(0)
+        if rng is None:
+            # No caller-supplied stream: derive a per-instance seed instead
+            # of the old shared ``Random(0)`` fallback, which silently
+            # correlated the loss decisions of every network in a process.
+            if seed is None:
+                seed = 0x52414E42 + next(Network._default_seed_counter)
+            rng = random.Random(seed)
+        self.rng = rng
         self.loss_rate = loss_rate
         # Receiver-side serialisation: each host processes incoming
         # messages one at a time, ``host_service_time * size`` each, so a
@@ -294,13 +312,16 @@ class Network:
     # -- transmission -----------------------------------------------------------
     def send(self, msg: Message) -> None:
         """Submit a message for (possibly unsuccessful) delivery."""
-        msg.sent_at = self.sim.now
-        self.stats.sent += 1
-        self.stats.by_type[msg.mtype] += 1
-        self.stats.bytes_sent += msg.size
+        sim = self.sim
+        stats = self.stats
+        endpoints = self._endpoints
+        msg.sent_at = sim._now
+        stats.sent += 1
+        stats.by_type[msg.mtype] += 1
+        stats.bytes_sent += msg.size
 
-        dst = self._endpoints.get(msg.dst)
-        src = self._endpoints.get(msg.src)
+        dst = endpoints.get(msg.dst)
+        src = endpoints.get(msg.src)
         if dst is None:
             self._account_drop(msg, reason="unknown destination")
             return
@@ -308,7 +329,9 @@ class Network:
         if src is not None and not src.up:
             self._account_drop(msg, reason="source down")
             return
-        if not self._hosts_connected(src_host, dst.host):
+        if (self._cut_links or self._partition_of) and not self._hosts_connected(
+            src_host, dst.host
+        ):
             self._account_drop(msg, reason="partitioned")
             return
         if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
@@ -317,15 +340,16 @@ class Network:
 
         delay = self.latency.delay(src_host, dst.host, msg.size, self.rng)
         if self.host_service_time > 0:
-            arrival = self.sim.now + delay
+            arrival = sim._now + delay
             start = max(arrival, self._busy_until.get(dst.host, 0.0))
             done = start + self.host_service_time * max(msg.size, 1)
             self._busy_until[dst.host] = done
             queue_wait = done - arrival
-            self.stats.queueing_delay_total += queue_wait
+            stats.queueing_delay_total += queue_wait
             delay += queue_wait
-        self.sim.call_later(delay, lambda: dst._deliver(msg))
-        self._notify(msg, "delivered")
+        sim.defer(delay, dst._deliver, msg)
+        if self._observers:
+            self._notify(msg, "delivered")
 
     def _account_drop(self, msg: Message, reason: str) -> None:
         self.stats.dropped += 1

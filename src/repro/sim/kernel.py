@@ -51,6 +51,10 @@ PENDING = "pending"
 TRIGGERED = "triggered"
 PROCESSED = "processed"
 
+# Hoisted heap bindings: the event loop pays for these every iteration.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 
 class Interrupt(Exception):
     """Thrown into a process that another process interrupted.
@@ -113,7 +117,11 @@ class Event:
         self._ok = True
         self._value = value
         self._state = TRIGGERED
-        self.sim._queue_event(self)
+        # Inlined Simulator._schedule(0.0, self): succeed() is the hottest
+        # call in the kernel, so it queues itself without a method hop.
+        sim = self.sim
+        sim._sequence += 1
+        _heappush(sim._heap, (sim._now, sim._sequence, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -128,14 +136,18 @@ class Event:
         self._ok = False
         self._value = exception
         self._state = TRIGGERED
-        self.sim._queue_event(self)
+        sim = self.sim
+        sim._sequence += 1
+        _heappush(sim._heap, (sim._now, sim._sequence, self))
         return self
 
     def _run_callbacks(self) -> None:
         self._state = PROCESSED
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = []
+            for callback in callbacks:
+                callback(self)
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Run ``callback(event)`` when the event is processed.
@@ -161,12 +173,46 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=f"Timeout({delay})")
+        # Inlined Event.__init__ with a static name: formatting a
+        # per-instance label was measurable on timeout-heavy workloads.
+        self.sim = sim
+        self.callbacks = []
+        self.name = "Timeout"
         self.delay = delay
         self._ok = True
         self._value = value
         self._state = TRIGGERED
-        sim._schedule(delay, self)
+        sim._sequence += 1
+        _heappush(sim._heap, (sim._now + delay, sim._sequence, self))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Timeout({self.delay}) state={self._state}>"
+
+
+#: Sentinel distinguishing "no argument" from "argument is None".
+_NO_ARG = object()
+
+
+class _Call:
+    """A scheduled bare callback: the cheapest thing the heap can hold.
+
+    Used by :meth:`Simulator.defer` for fire-and-forget timers (message
+    delivery, lightweight expirations) where a full :class:`Event` — with
+    its callback list, state machine, and waiter support — is overhead.
+    The event loop only requires ``_run_callbacks``.
+    """
+
+    __slots__ = ("fn", "arg")
+
+    def __init__(self, fn: Callable, arg: Any = _NO_ARG):
+        self.fn = fn
+        self.arg = arg
+
+    def _run_callbacks(self) -> None:
+        if self.arg is _NO_ARG:
+            self.fn()
+        else:
+            self.fn(self.arg)
 
 
 class _ConditionEvent(Event):
@@ -254,11 +300,15 @@ class Process(Event):
         self._waiting_on: Optional[Event] = None
         self._interrupts: list[Interrupt] = []
         # Start the process at the current instant (but not synchronously,
-        # so the creator finishes its own step first).
-        bootstrap = Event(sim, name=f"start:{self.name}")
-        self._waiting_on = bootstrap
-        bootstrap.add_callback(self._resume)
-        bootstrap.succeed(None)
+        # so the creator finishes its own step first).  An interrupt that
+        # arrives before the first step lands in ``_interrupts`` and is
+        # delivered by the bootstrap step itself.
+        sim._sequence += 1
+        _heappush(sim._heap, (sim._now, sim._sequence, _Call(self._bootstrap)))
+
+    def _bootstrap(self) -> None:
+        if not self.triggered:
+            self._step(send=None)
 
     @property
     def is_alive(self) -> bool:
@@ -294,18 +344,18 @@ class Process(Event):
 
     # -- stepping ----------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        if self.triggered:
+        if self._state is not PENDING:
             return
         if self._waiting_on is not event:
             return  # stale wake-up after an interrupt detached us
         self._waiting_on = None
-        if event.ok:
-            self._step(send=event.value)
+        if event._ok:
+            self._step(send=event._value)
         else:
-            self._step(throw=event.value)
+            self._step(throw=event._value)
 
     def _step(self, send: Any = None, throw: BaseException | None = None) -> None:
-        if self.triggered:
+        if self._state is not PENDING:
             return
         try:
             if self._interrupts and throw is None:
@@ -326,11 +376,13 @@ class Process(Event):
             self.fail(exc)
             return
 
-        if not isinstance(target, Event):
-            self.fail(SimulationError(f"process {self.name!r} yielded non-event {target!r}"))
-            return
-        if target.sim is not self.sim:
-            self.fail(SimulationError("process yielded event from another simulator"))
+        # One getattr replaces the isinstance + ownership pair on the hot
+        # path; the slow path below recovers the precise error.
+        if getattr(target, "sim", None) is not self.sim:
+            if not isinstance(target, Event):
+                self.fail(SimulationError(f"process {self.name!r} yielded non-event {target!r}"))
+            else:
+                self.fail(SimulationError("process yielded event from another simulator"))
             return
         if self._interrupts:
             # An interrupt arrived while the process body was executing:
@@ -390,6 +442,18 @@ class Simulator:
         self._schedule(delay, event)
         return event
 
+    def defer(self, delay: float, fn: Callable, arg: Any = _NO_ARG) -> None:
+        """Schedule ``fn(arg)`` (or ``fn()``) after ``delay`` time units.
+
+        The fire-and-forget counterpart of :meth:`call_later`: nothing is
+        returned and no :class:`Event` is allocated, so hot paths (message
+        delivery, per-message timers) avoid the full event machinery.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._sequence += 1
+        _heappush(self._heap, (self._now + delay, self._sequence, _Call(fn, arg)))
+
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Event that fires when any of ``events`` succeeds."""
         return AnyOf(self, events)
@@ -401,19 +465,14 @@ class Simulator:
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, delay: float, event: Event) -> None:
         self._sequence += 1
-        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
-
-    def _queue_event(self, event: Event) -> None:
-        if isinstance(event, Timeout):
-            return  # timeouts were queued at construction
-        self._schedule(0.0, event)
+        _heappush(self._heap, (self._now + delay, self._sequence, event))
 
     # -- execution ----------------------------------------------------------
     def step(self) -> bool:
         """Process one event.  Returns False if the heap is empty."""
         if not self._heap:
             return False
-        when, _seq, event = heapq.heappop(self._heap)
+        when, _seq, event = _heappop(self._heap)
         if when < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = when
@@ -429,26 +488,40 @@ class Simulator:
           clock is left exactly at ``until``).
         * ``until`` is an :class:`Event`: run until that event is processed
           and return its value (raising if it failed).
+
+        All three modes drain the heap with inlined loops rather than
+        per-event :meth:`step` calls — scheduling guarantees events are
+        never in the past, so the loop only pops, advances the clock, and
+        runs callbacks.
         """
+        heap = self._heap
+        heappop = _heappop
         if until is None:
-            while self.step():
-                pass
+            while heap:
+                self._now, _seq, event = heappop(heap)
+                self._processed_events += 1
+                event._run_callbacks()
             return None
 
         if isinstance(until, Event):
             sentinel = until
-            while not sentinel.processed:
-                if not self.step():
+            while sentinel._state != PROCESSED:
+                if not heap:
                     raise SimulationError("simulation ran dry before the awaited event fired")
-            if sentinel.ok:
-                return sentinel.value
-            raise sentinel.value
+                self._now, _seq, event = heappop(heap)
+                self._processed_events += 1
+                event._run_callbacks()
+            if sentinel._ok:
+                return sentinel._value
+            raise sentinel._value
 
         deadline = float(until)
         if deadline < self._now:
             raise SimulationError(f"cannot run to {deadline}: clock already at {self._now}")
-        while self._heap and self._heap[0][0] <= deadline:
-            self.step()
+        while heap and heap[0][0] <= deadline:
+            self._now, _seq, event = heappop(heap)
+            self._processed_events += 1
+            event._run_callbacks()
         self._now = deadline
         return None
 
