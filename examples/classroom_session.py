@@ -101,7 +101,7 @@ def main() -> None:
                     host: sorted(
                         s.name for s in instance.sites.values() if s.host == host
                     )
-                    for host in {s.host for s in instance.sites.values()}
+                    for host in sorted({s.host for s in instance.sites.values()})
                 },
                 ns_host=instance.nameserver.host,
             )

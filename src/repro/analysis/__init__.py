@@ -1,0 +1,62 @@
+"""rainbow-lint: AST-based determinism & protocol-conformance analysis.
+
+Rainbow's pedagogical contract rests on two properties that ordinary
+linters cannot see:
+
+* **Determinism** — a given seed always replays the same history.  A stray
+  module-level ``random.*`` call, a wall-clock read, or iteration over a
+  ``set`` feeding a scheduling decision silently de-correlates replays.
+* **Protocol conformance** — student protocol swaps (2PL/TSO/MVTO,
+  ROWA/QC, 2PC/3PC) plug into the stack only if they implement the
+  family's interface, self-register, and drive the kernel's generator
+  protocol correctly.  A handler that calls ``ctx.broadcast(...)`` without
+  ``yield from`` never sends anything — a silent no-op.
+
+This package encodes those invariants as machine-checked rules:
+
+========  ======================  =============================================
+Rule id   Name                    What it catches
+========  ======================  =============================================
+RB100     syntax-error            file does not parse (everything else skipped)
+RB101     unyielded-event         event/RPC-returning call discarded inside a
+                                  generator function
+RB102     nondeterminism-hazard   global ``random``, unseeded ``Random()``,
+                                  wall clock, set-order iteration, ``id()``
+                                  sort keys
+RB103     generator-contract      ``-> Generator`` without ``yield`` and
+                                  protocol handlers missing the annotation
+RB104     protocol-conformance    protocol subclass missing required methods
+                                  or never registered
+RB105     sim-hygiene             mutable default args, missing ``__slots__``
+                                  in a slotted hierarchy
+========  ======================  =============================================
+
+Suppress a finding with an inline ``# rb: ignore[RB101] -- reason`` comment
+on the flagged line, or a whole file with ``# rb: ignore-file[RB102]`` in
+its first ten lines.  Run it with ``python -m repro lint [paths]``.
+"""
+
+from repro.analysis.core import Finding, Rule, all_rules, register_rule, rule_catalog
+from repro.analysis.engine import LintReport, ModuleInfo, Project, collect_files, run_lint
+from repro.analysis.reporting import render_json, render_text
+
+# Importing the rule modules registers the stock rules.
+from repro.analysis import rules_determinism  # noqa: F401  - side-effect registration
+from repro.analysis import rules_generators  # noqa: F401
+from repro.analysis import rules_hygiene  # noqa: F401
+from repro.analysis import rules_protocol  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "all_rules",
+    "collect_files",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "rule_catalog",
+    "run_lint",
+]

@@ -1,0 +1,140 @@
+"""Rule framework: findings, the rule base class, and the rule registry.
+
+A rule is a class with an ``id`` (``"RB101"``), a short kebab-case
+``name``, a ``severity``, and a :meth:`Rule.check_module` generator that
+inspects one parsed module at a time (with project-wide context available
+through the :class:`~repro.analysis.engine.Project` argument for
+cross-module rules such as protocol registration).
+
+Students add a rule by subclassing :class:`Rule` and decorating it with
+:func:`register_rule`; the engine, the CLI's ``--select``/``--ignore``
+filters, and the ``# rb: ignore[...]`` machinery pick it up automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator, Type
+
+from repro.errors import RainbowError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.analysis.engine import ModuleInfo, Project
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "AnalysisError",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "register_rule",
+    "rule_catalog",
+]
+
+#: Severity levels.  Both fail the lint gate; the split exists so reports
+#: can rank correctness hazards above style-of-the-simulator issues.
+ERROR = "error"
+WARNING = "warning"
+
+
+class AnalysisError(RainbowError):
+    """Raised for analyzer misuse (bad rule id, duplicate registration)."""
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: a rule violation anchored to ``file:line:col``."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str = field(compare=False)
+    severity: str = field(default=ERROR, compare=False)
+
+    def location(self) -> str:
+        """The clickable ``path:line:col`` prefix used by the text report."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (stable key order)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+class Rule:
+    """Base class for analyzer rules.
+
+    Subclasses set the class attributes and implement
+    :meth:`check_module`.  Rules must be stateless across modules — the
+    engine instantiates each rule once per run and feeds it every module;
+    anything cross-module belongs on the shared ``project``.
+    """
+
+    id: str = "RB000"
+    name: str = "abstract"
+    severity: str = ERROR
+    description: str = ""
+
+    def check_module(self, module: "ModuleInfo", project: "Project") -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+        raise NotImplementedError
+
+    def finding(self, module: "ModuleInfo", node, message: str) -> Finding:
+        """Build a finding for ``node`` (any ast node with a location)."""
+        return Finding(
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.id,
+            message=message,
+            severity=self.severity,
+        )
+
+
+_RULES: dict[str, Type[Rule]] = {}
+
+
+def register_rule(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add ``rule_cls`` to the global rule registry."""
+    rule_id = rule_cls.id
+    if not (rule_id.startswith("RB") and rule_id[2:].isdigit()):
+        raise AnalysisError(f"rule id must look like RBxxx, got {rule_id!r}")
+    if rule_id in _RULES:
+        raise AnalysisError(f"rule {rule_id} already registered ({_RULES[rule_id].__name__})")
+    _RULES[rule_id] = rule_cls
+    return rule_cls
+
+
+def all_rules(select: Iterable[str] | None = None,
+              ignore: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate the registered rules, filtered by ``select``/``ignore``.
+
+    ``select`` keeps only the listed rule ids; ``ignore`` then removes ids.
+    Unknown ids raise so typos in CI configs fail loudly.
+    """
+    known = set(_RULES)
+    for label, chosen in (("select", select), ("ignore", ignore)):
+        unknown = set(chosen or ()) - known
+        if unknown:
+            raise AnalysisError(
+                f"unknown rule id(s) in --{label}: {sorted(unknown)}; known: {sorted(known)}"
+            )
+    wanted = set(select) if select is not None else known
+    wanted -= set(ignore or ())
+    return [_RULES[rule_id]() for rule_id in sorted(wanted)]
+
+
+def rule_catalog() -> list[tuple[str, str, str, str]]:
+    """``(id, name, severity, description)`` rows for ``lint --list-rules``."""
+    return [
+        (rule_id, cls.name, cls.severity, cls.description)
+        for rule_id, cls in sorted(_RULES.items())
+    ]

@@ -1,0 +1,82 @@
+"""The ``# rb: ignore`` escape hatch.
+
+Findings are suppressed, never silently dropped: every suppression is an
+inline comment a reviewer can see and question.
+
+* ``# rb: ignore[RB101]`` on the flagged line suppresses that rule there.
+* ``# rb: ignore[RB101,RB105] -- reason`` suppresses several, with a note.
+* ``# rb: ignore`` (no bracket) suppresses every rule on that line.
+* ``# rb: ignore-file[RB102]`` within the first ten lines suppresses the
+  rule for the whole file (``# rb: ignore-file`` suppresses all of them).
+
+The ``-- reason`` tail is free text; the analyzer does not parse it, but
+the repo convention is to always say *why* the finding is intentional.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["IgnoreTable", "parse_ignores"]
+
+#: Matches both line and file forms; group 1 is "-file" or empty, group 2
+#: the optional bracketed id list.
+_IGNORE_RE = re.compile(r"#\s*rb:\s*ignore(-file)?(?:\[([A-Za-z0-9_,\s]*)\])?")
+
+#: File-level pragmas must appear near the top so readers cannot miss them.
+_FILE_PRAGMA_WINDOW = 10
+
+#: Sentinel id meaning "every rule".
+ALL_RULES = "*"
+
+
+class IgnoreTable:
+    """Which rule ids are suppressed per line (and file-wide)."""
+
+    def __init__(self) -> None:
+        self._by_line: dict[int, set[str]] = {}
+        self._file_wide: set[str] = set()
+
+    def add_line(self, line: int, rule_ids: set[str]) -> None:
+        self._by_line.setdefault(line, set()).update(rule_ids)
+
+    def add_file(self, rule_ids: set[str]) -> None:
+        self._file_wide.update(rule_ids)
+
+    def suppresses(self, line: int, rule_id: str) -> bool:
+        """True if a pragma covers ``rule_id`` at ``line``."""
+        if ALL_RULES in self._file_wide or rule_id in self._file_wide:
+            return True
+        ids = self._by_line.get(line)
+        return ids is not None and (ALL_RULES in ids or rule_id in ids)
+
+
+def _parse_id_list(raw: str | None) -> set[str]:
+    if raw is None:
+        return {ALL_RULES}
+    ids = {part.strip().upper() for part in raw.split(",") if part.strip()}
+    return ids or {ALL_RULES}
+
+
+def parse_ignores(source: str) -> IgnoreTable:
+    """Scan ``source`` for ``rb: ignore`` pragmas.
+
+    A plain string scan (not the tokenizer) keeps this usable even on
+    files with syntax errors, where suppressing RB100 would otherwise be
+    impossible.  The pattern is anchored on ``#`` so string literals that
+    merely *mention* the pragma (like this module's docstring) are only
+    matched when they contain the literal comment form — acceptable for a
+    teaching linter and called out in docs/ANALYSIS.md.
+    """
+    table = IgnoreTable()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _IGNORE_RE.search(text)
+        if match is None:
+            continue
+        file_wide, raw_ids = match.group(1), match.group(2)
+        if file_wide:
+            if lineno <= _FILE_PRAGMA_WINDOW:
+                table.add_file(_parse_id_list(raw_ids))
+        else:
+            table.add_line(lineno, _parse_id_list(raw_ids))
+    return table

@@ -1,0 +1,45 @@
+"""Text and JSON rendering of lint reports.
+
+Text output is the familiar ``path:line:col RBxxx [severity] message``
+shape (clickable in editors and CI logs); JSON is a stable envelope for
+tooling.  Both render findings in the engine's deterministic order.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintReport
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(report: LintReport, *, verbose: bool = False) -> str:
+    """Human-readable report; one finding per line plus a summary."""
+    lines = [
+        f"{finding.location()}: {finding.rule_id} [{finding.severity}] {finding.message}"
+        for finding in report.findings
+    ]
+    n = len(report.findings)
+    summary = (
+        f"{n} finding{'s' if n != 1 else ''} in {report.files_checked} "
+        f"file{'s' if report.files_checked != 1 else ''}"
+    )
+    if report.suppressed:
+        summary += f" ({report.suppressed} suppressed by rb: ignore)"
+    if n or verbose:
+        lines.append(summary)
+    elif not lines:
+        lines.append(f"ok: {summary}")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """JSON envelope: summary counts plus the ordered finding list."""
+    payload = {
+        "ok": report.ok,
+        "files_checked": report.files_checked,
+        "suppressed": report.suppressed,
+        "findings": [finding.to_dict() for finding in report.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

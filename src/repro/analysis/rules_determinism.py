@@ -1,0 +1,222 @@
+"""RB102 nondeterminism-hazard: sources of replay divergence.
+
+The simulator's contract is that a seed fully determines the history.
+Anything that smuggles entropy in from outside the seeded
+:class:`~repro.sim.randoms.RandomStreams` breaks replays *silently* — the
+run still "works", it just stops being reproducible.  Flagged hazards:
+
+* calls through the **global** ``random`` module (``random.random()``,
+  ``random.choice(...)``, ``from random import choice``): shared global
+  state, perturbed by any other consumer;
+* ``random.Random()`` with no seed argument: seeded from the OS;
+* **wall-clock** reads (``time.time``, ``perf_counter``,
+  ``datetime.now``, ...) anywhere except ``monitor/`` and ``benchmarks/``,
+  which legitimately report host performance;
+* iterating a ``set``/``frozenset`` directly in ``for`` or a
+  comprehension: order depends on ``PYTHONHASHSEED`` for str keys — wrap
+  in ``sorted(...)``;
+* ``id()`` used in a sort key: memory addresses vary run to run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import ERROR, Finding, Rule, register_rule
+from repro.analysis.engine import ModuleInfo, Project
+
+__all__ = ["NondeterminismRule"]
+
+#: Functions of the ``random`` module that draw from the global RNG.
+_GLOBAL_RANDOM_FUNCS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "expovariate", "gauss", "normalvariate",
+    "betavariate", "gammavariate", "lognormvariate", "paretovariate",
+    "weibullvariate", "triangular", "vonmisesvariate", "getrandbits",
+    "seed", "randbytes",
+})
+
+#: ``time`` module wall-clock readers.
+_TIME_FUNCS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "localtime",
+    "gmtime",
+})
+
+#: ``datetime``/``date`` constructors that read the clock.
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+#: Path components whose files may read the wall clock (self-reported
+#: simulator performance is host-dependent by definition).
+_WALLCLOCK_EXEMPT_PARTS = frozenset({"monitor", "benchmarks"})
+
+#: ``sorted``/``min``/``max``/``list.sort`` — callables that take ``key=``.
+_SORTERS = frozenset({"sorted", "min", "max", "sort"})
+
+
+def _dotted_head(node: ast.expr) -> str | None:
+    """``random.choice`` -> ``random``; ``a.b.c`` -> ``a`` (Names only)."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+class _ImportMap:
+    """What the module-level names in this file refer to."""
+
+    def __init__(self, tree: ast.Module):
+        self.module_aliases: dict[str, str] = {}   # local name -> module
+        self.from_imports: dict[str, tuple[str, str]] = {}  # local -> (module, orig)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.module_aliases[alias.asname or alias.name.split(".")[0]] = \
+                        alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.from_imports[alias.asname or alias.name] = \
+                        (node.module, alias.name)
+
+
+@register_rule
+class NondeterminismRule(Rule):
+    """RB102: entropy sources outside the seeded random streams."""
+
+    id = "RB102"
+    name = "nondeterminism-hazard"
+    severity = ERROR
+    description = (
+        "global `random.*` usage, unseeded `random.Random()`, wall-clock "
+        "reads outside monitor//benchmarks/, direct set-order iteration, "
+        "or `id()` in sort keys — all of which de-correlate seeded replays"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        imports = _ImportMap(module.tree)
+        wallclock_exempt = bool(set(module.path_parts) & _WALLCLOCK_EXEMPT_PARTS)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node, imports, wallclock_exempt)
+            elif isinstance(node, ast.For):
+                yield from self._check_iteration(module, node.iter, "for loop")
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for comp in node.generators:
+                    yield from self._check_iteration(module, comp.iter, "comprehension")
+
+    # -- calls ---------------------------------------------------------------
+    def _check_call(
+        self, module: ModuleInfo, call: ast.Call, imports: _ImportMap,
+        wallclock_exempt: bool,
+    ) -> Iterator[Finding]:
+        func = call.func
+
+        # random.<fn>(...) through the module object.
+        if isinstance(func, ast.Attribute):
+            head = _dotted_head(func)
+            head_module = imports.module_aliases.get(head or "")
+            if head_module == "random":
+                if func.attr in _GLOBAL_RANDOM_FUNCS:
+                    yield self.finding(
+                        module, call,
+                        f"`random.{func.attr}(...)` draws from the shared global "
+                        f"RNG; use a stream from `RandomStreams` instead",
+                    )
+                elif func.attr == "Random" and not call.args and not call.keywords:
+                    yield self.finding(
+                        module, call,
+                        "`random.Random()` without a seed is OS-seeded and "
+                        "unreproducible; pass an explicit seed",
+                    )
+            elif head_module == "time" and func.attr in _TIME_FUNCS:
+                if not wallclock_exempt:
+                    yield self.finding(
+                        module, call,
+                        f"wall-clock read `time.{func.attr}()` outside monitor//"
+                        f"benchmarks/; use `sim.now` for simulated time",
+                    )
+            elif func.attr in _DATETIME_FUNCS and self._is_datetime_head(
+                func, imports
+            ):
+                if not wallclock_exempt:
+                    yield self.finding(
+                        module, call,
+                        f"wall-clock read `datetime.{func.attr}()` outside "
+                        f"monitor//benchmarks/; use `sim.now` for simulated time",
+                    )
+        elif isinstance(func, ast.Name):
+            origin = imports.from_imports.get(func.id)
+            if origin is not None and origin[0] == "random":
+                original = origin[1]
+                if original in _GLOBAL_RANDOM_FUNCS:
+                    yield self.finding(
+                        module, call,
+                        f"`{func.id}(...)` (from `random import {original}`) draws "
+                        f"from the shared global RNG; use a `RandomStreams` stream",
+                    )
+                elif original == "Random" and not call.args and not call.keywords:
+                    yield self.finding(
+                        module, call,
+                        "`Random()` without a seed is OS-seeded and "
+                        "unreproducible; pass an explicit seed",
+                    )
+
+        # id() in sort keys.
+        func_name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if func_name in _SORTERS:
+            for keyword in call.keywords:
+                if keyword.arg == "key" and self._key_uses_id(keyword.value):
+                    yield self.finding(
+                        module, keyword.value,
+                        f"`{func_name}(..., key=...)` uses `id()`: memory addresses "
+                        f"differ between runs, so tie-breaks are unreproducible",
+                    )
+
+    @staticmethod
+    def _is_datetime_head(func: ast.Attribute, imports: _ImportMap) -> bool:
+        """True for ``datetime.now`` / ``datetime.datetime.now`` shapes."""
+        value = func.value
+        if isinstance(value, ast.Name):
+            if value.id in ("datetime", "date"):
+                origin = imports.from_imports.get(value.id)
+                if origin is not None:
+                    return origin[0] == "datetime"
+                return imports.module_aliases.get(value.id) == "datetime"
+            return False
+        if isinstance(value, ast.Attribute) and value.attr in ("datetime", "date"):
+            head = _dotted_head(value)
+            return imports.module_aliases.get(head or "") == "datetime"
+        return False
+
+    @staticmethod
+    def _key_uses_id(key: ast.expr) -> bool:
+        if isinstance(key, ast.Name) and key.id == "id":
+            return True
+        if isinstance(key, ast.Lambda):
+            for node in ast.walk(key.body):
+                if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                        and node.func.id == "id"):
+                    return True
+        return False
+
+    # -- set iteration -------------------------------------------------------
+    def _check_iteration(
+        self, module: ModuleInfo, iterable: ast.expr, where: str
+    ) -> Iterator[Finding]:
+        if isinstance(iterable, (ast.Set, ast.SetComp)):
+            yield self.finding(
+                module, iterable,
+                f"iterating a set literal directly in a {where}: iteration order "
+                f"depends on PYTHONHASHSEED; wrap it in `sorted(...)`",
+            )
+        elif (isinstance(iterable, ast.Call)
+              and isinstance(iterable.func, ast.Name)
+              and iterable.func.id in ("set", "frozenset")):
+            yield self.finding(
+                module, iterable,
+                f"iterating `{iterable.func.id}(...)` directly in a {where}: "
+                f"iteration order depends on PYTHONHASHSEED; wrap it in `sorted(...)`",
+            )

@@ -1,0 +1,108 @@
+"""RB105 sim-hygiene: small Python hazards that bite simulators hardest.
+
+* **Mutable default arguments** (``def f(x=[])``): the default is shared
+  across *every* call and every simulator instance in the process —
+  exactly how state leaks between "independent" experiment repetitions.
+* **Missing ``__slots__`` in a slotted hierarchy**: the kernel's
+  :class:`~repro.sim.kernel.Event` family declares ``__slots__`` because
+  millions of events are allocated per run.  A subclass that forgets its
+  own ``__slots__`` silently re-grows a ``__dict__`` per instance and
+  forfeits the optimisation for the whole subtree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule, WARNING, register_rule
+from repro.analysis.engine import ModuleInfo, Project
+
+__all__ = ["SimHygieneRule"]
+
+#: Call names producing fresh mutable containers — mutable as defaults too.
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set", "bytearray", "deque"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                         ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_FACTORIES
+        and not node.args
+        and not node.keywords
+    )
+
+
+@register_rule
+class SimHygieneRule(Rule):
+    """RB105: mutable defaults; missing __slots__ in slotted hierarchies."""
+
+    id = "RB105"
+    name = "sim-hygiene"
+    severity = WARNING
+    description = (
+        "mutable default arguments (state shared across simulator "
+        "instances) and subclasses of __slots__ classes that drop the "
+        "declaration (per-instance __dict__ re-appears on the hot path)"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(module, node)
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_slots(module, node, project)
+
+    def _check_defaults(self, module: ModuleInfo, func) -> Iterator[Finding]:
+        args = func.args
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            if _is_mutable_default(default):
+                yield self.finding(
+                    module, default,
+                    f"mutable default argument in `{func.name}(...)`: the object "
+                    f"is shared across every call (and simulator instance); "
+                    f"default to None and construct inside",
+                )
+
+    def _check_slots(
+        self, module: ModuleInfo, node: ast.ClassDef, project: Project
+    ) -> Iterator[Finding]:
+        record = None
+        for candidate in project.classes.get(node.name, ()):
+            if candidate.node is node:
+                record = candidate
+                break
+        if record is None or record.has_slots:
+            return
+        # dataclass(slots=True) generates __slots__; plain @dataclass
+        # subclassing a slotted base is still worth flagging, but a
+        # slots=True dataclass is clean.
+        for decorator in node.decorator_list:
+            if isinstance(decorator, ast.Call):
+                target = decorator.func
+                named = (isinstance(target, ast.Name) and target.id == "dataclass") or (
+                    isinstance(target, ast.Attribute) and target.attr == "dataclass"
+                )
+                if named and any(
+                    kw.arg == "slots" and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in decorator.keywords
+                ):
+                    return
+        slotted_parent = next(
+            (parent for parent in project.ancestry(record) if parent.has_slots), None
+        )
+        if slotted_parent is not None:
+            yield self.finding(
+                module, node,
+                f"`{node.name}` subclasses slotted `{slotted_parent.name}` but "
+                f"declares no `__slots__` of its own; instances regain a "
+                f"__dict__ and lose the hierarchy's memory optimisation "
+                f"(use `__slots__ = ()` if it adds no fields)",
+            )

@@ -1,0 +1,113 @@
+"""RB104 protocol-conformance: the "swap anything" contract, checked.
+
+Rainbow's protocol families plug in through three small interfaces plus a
+per-family registry (:mod:`repro.protocols.base`).  A student protocol
+that forgets a required method fails at runtime deep inside a session; one
+that forgets to call ``register_ccp``/``register_rcp``/``register_acp``
+simply never appears in the GUI drop-downs or the CLI — both silent.
+
+This rule checks every *concrete leaf* subclass of an interface (classes
+that other analyzed classes inherit from are treated as intermediate bases
+and skipped — :class:`~repro.protocols.ccp.workspace.WorkspaceController`
+is the canonical example):
+
+* the union of methods defined along the statically-visible inheritance
+  chain must cover the family's required method set;
+* the class name must appear in a ``register_*`` call somewhere in the
+  analyzed file set (registration conventionally lives in the package
+  ``__init__``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import ERROR, Finding, Rule, register_rule
+from repro.analysis.engine import ClassRecord, ModuleInfo, Project
+
+__all__ = ["ProtocolConformanceRule", "REQUIRED_METHODS"]
+
+#: interface -> (family label, registration function, required methods).
+REQUIRED_METHODS: dict[str, tuple[str, str, frozenset[str]]] = {
+    "ConcurrencyController": (
+        "CCP", "register_ccp",
+        frozenset({
+            "read", "prewrite", "buffered_writes", "commit", "abort",
+            "doom", "is_doomed", "active_transactions", "clear",
+        }),
+    ),
+    "ReplicationController": (
+        "RCP", "register_rcp",
+        frozenset({"do_read", "do_write"}),
+    ),
+    "CommitProtocol": (
+        "ACP", "register_acp",
+        frozenset({"run"}),
+    ),
+}
+
+
+@register_rule
+class ProtocolConformanceRule(Rule):
+    """RB104: protocol subclasses must implement + register their family."""
+
+    id = "RB104"
+    name = "protocol-conformance"
+    severity = ERROR
+    description = (
+        "a concrete subclass of ConcurrencyController / ReplicationController "
+        "/ CommitProtocol is missing required family methods or is never "
+        "passed to register_ccp/rcp/acp"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name in REQUIRED_METHODS:
+                continue  # the interface itself
+            record = self._record_for(node, module, project)
+            if record is None:
+                continue
+            interface = self._interface_of(record, project)
+            if interface is None:
+                continue
+            if node.name in project.base_names:
+                continue  # intermediate base: concreteness judged at its leaves
+            family, register_func, required = REQUIRED_METHODS[interface]
+            provided = set(record.methods)
+            for parent in project.ancestry(record):
+                if parent.name in REQUIRED_METHODS:
+                    continue  # interface stubs do not count as implementations
+                provided |= parent.methods
+            missing = sorted(required - provided)
+            if missing:
+                yield self.finding(
+                    module, node,
+                    f"{family} protocol `{node.name}` is missing required "
+                    f"method(s): {', '.join(missing)}",
+                )
+            if node.name not in project.registered_names:
+                yield self.finding(
+                    module, node,
+                    f"{family} protocol `{node.name}` is never registered; call "
+                    f"`{register_func}(\"<name>\", {node.name})` (conventionally "
+                    f"in the family package __init__) so it is selectable",
+                )
+
+    @staticmethod
+    def _record_for(
+        node: ast.ClassDef, module: ModuleInfo, project: Project
+    ) -> ClassRecord | None:
+        for record in project.classes.get(node.name, ()):
+            if record.node is node:
+                return record
+        return None
+
+    @staticmethod
+    def _interface_of(record: ClassRecord, project: Project) -> str | None:
+        for interface in REQUIRED_METHODS:
+            if project.descends_from(record, (interface,)):
+                return interface
+        return None

@@ -14,7 +14,7 @@ Protocols Configuration panel offers it like any student protocol.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Generator
 
 from repro.protocols.ccp.workspace import WorkspaceController
 
@@ -26,7 +26,7 @@ class NoConcurrencyController(WorkspaceController):
 
     name = "NOCC"
 
-    def read(self, txn_id: int, ts: float, item: str):
+    def read(self, txn_id: int, ts: float, item: str) -> Generator:
         self._check_doom(txn_id)
         self.stats.reads += 1
         written, value = self._buffered_value(txn_id, item)
@@ -35,7 +35,7 @@ class NoConcurrencyController(WorkspaceController):
         return self.store.read(item)
         yield  # pragma: no cover - generator marker
 
-    def prewrite(self, txn_id: int, ts: float, item: str, value: Any):
+    def prewrite(self, txn_id: int, ts: float, item: str, value: Any) -> Generator:
         self._check_doom(txn_id)
         self.stats.prewrites += 1
         self._buffer(txn_id, item, value)

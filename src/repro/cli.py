@@ -12,11 +12,17 @@ Commands:
   reports.
 * ``panels`` — print the configuration panels of the default instance.
 * ``list`` — list experiments and assignments.
+* ``lint [paths]`` — run rainbow-lint (the AST-based determinism &
+  protocol-conformance analyzer) over ``paths`` (default ``src``);
+  non-zero exit when findings remain.  ``--select``/``--ignore`` filter
+  rules, ``--format json`` emits machine-readable output, and
+  ``--list-rules`` prints the rule catalog.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Optional, Sequence
 
@@ -149,6 +155,38 @@ def _cmd_panels(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_rule_ids(raw: Optional[str]) -> Optional[list[str]]:
+    if raw is None:
+        return None
+    return [part.strip().upper() for part in raw.split(",") if part.strip()]
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import render_json, render_text, rule_catalog, run_lint
+    from repro.analysis.core import AnalysisError
+
+    if args.list_rules:
+        for rule_id, name, severity, description in rule_catalog():
+            print(f"{rule_id}  {name} [{severity}]")
+            print(f"       {description}")
+        return 0
+    paths = args.paths or ["src"]
+    try:
+        report = run_lint(
+            paths,
+            select=_parse_rule_ids(args.select),
+            ignore=_parse_rule_ids(args.ignore),
+        )
+    except (AnalysisError, FileNotFoundError) as err:
+        print(f"lint: {err}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return 0 if report.ok else 1
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     from repro.classroom import all_assignments
 
@@ -203,6 +241,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     listing = commands.add_parser("list", help="list experiments and assignments")
     listing.set_defaults(fn=_cmd_list)
+
+    lint = commands.add_parser(
+        "lint", help="run rainbow-lint (determinism & protocol-conformance analyzer)"
+    )
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--select", default=None, metavar="IDS",
+                      help="comma-separated rule ids to run (e.g. RB101,RB102)")
+    lint.add_argument("--ignore", default=None, metavar="IDS",
+                      help="comma-separated rule ids to skip")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="output format (default: text)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+    lint.set_defaults(fn=_cmd_lint)
     return parser
 
 
@@ -210,7 +263,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `... | head`) closed the pipe; suppress
+        # the stderr traceback the interpreter would otherwise print while
+        # flushing stdout at shutdown.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -10,7 +10,6 @@ code fences, so it reads in a terminal, a gist, or a grading system alike.
 
 from __future__ import annotations
 
-from typing import Optional
 
 __all__ = ["session_report"]
 

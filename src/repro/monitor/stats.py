@@ -21,7 +21,7 @@ from __future__ import annotations
 import statistics as stats_lib
 import time
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.net.network import Network

@@ -17,7 +17,7 @@ serializability.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 __all__ = ["TraceEvent", "ExecutionTracer", "format_history"]

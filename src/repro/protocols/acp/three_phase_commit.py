@@ -21,6 +21,8 @@ termination timeout.
 
 from __future__ import annotations
 
+from typing import Generator
+
 from repro.errors import CommitAbort
 from repro.net.message import MessageType
 from repro.protocols.base import CommitProtocol
@@ -33,7 +35,7 @@ class ThreePhaseCommit(CommitProtocol):
 
     name = "3PC"
 
-    def run(self, ctx):
+    def run(self, ctx) -> Generator:
         all_yes, detail = yield from ctx.collect_votes(self.name)
         if not all_yes:
             ctx.log_decision("ABORT")

@@ -18,6 +18,8 @@ requests.
 
 from __future__ import annotations
 
+from typing import Generator
+
 from repro.errors import CommitAbort
 from repro.net.message import MessageType
 from repro.protocols.base import CommitProtocol
@@ -30,7 +32,7 @@ class TwoPhaseCommit(CommitProtocol):
 
     name = "2PC"
 
-    def run(self, ctx):
+    def run(self, ctx) -> Generator:
         all_yes, detail = yield from ctx.collect_votes(self.name)
         if not all_yes:
             ctx.log_decision("ABORT")

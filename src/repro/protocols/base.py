@@ -19,7 +19,7 @@ with minimum system-wide modifications."  Concretely:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Iterable
+from typing import Any, Callable, Generator
 
 from repro.errors import ProtocolError
 

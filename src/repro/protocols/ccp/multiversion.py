@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Generator, Optional
 
 from repro.errors import ConcurrencyAbort
 from repro.protocols.ccp.workspace import WorkspaceController
@@ -95,7 +95,7 @@ class MultiversionTimestampController(WorkspaceController):
         return record
 
     # -- operations -------------------------------------------------------------
-    def read(self, txn_id: int, ts: float, item: str):
+    def read(self, txn_id: int, ts: float, item: str) -> Generator:
         self._check_doom(txn_id)
         self.stats.reads += 1
         record = self._item(item)
@@ -122,7 +122,7 @@ class MultiversionTimestampController(WorkspaceController):
             chosen.rts = max(chosen.rts, ts)
             return chosen.value, chosen.wts
 
-    def prewrite(self, txn_id: int, ts: float, item: str, value: Any):
+    def prewrite(self, txn_id: int, ts: float, item: str, value: Any) -> Generator:
         self._check_doom(txn_id)
         self.stats.prewrites += 1
         record = self._item(item)

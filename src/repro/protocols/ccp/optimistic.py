@@ -22,7 +22,7 @@ meant to show.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Generator
 
 from repro.protocols.ccp.workspace import WorkspaceController
 from repro.site.storage import LocalStore
@@ -56,7 +56,7 @@ class OptimisticController(WorkspaceController):
         return footprint
 
     # -- operations (never wait, never reject) --------------------------------
-    def read(self, txn_id: int, ts: float, item: str):
+    def read(self, txn_id: int, ts: float, item: str) -> Generator:
         self._check_doom(txn_id)
         self.stats.reads += 1
         written, value = self._buffered_value(txn_id, item)
@@ -67,7 +67,7 @@ class OptimisticController(WorkspaceController):
         return value, version
         yield  # pragma: no cover - generator marker
 
-    def prewrite(self, txn_id: int, ts: float, item: str, value: Any):
+    def prewrite(self, txn_id: int, ts: float, item: str, value: Any) -> Generator:
         self._check_doom(txn_id)
         self.stats.prewrites += 1
         self._buffer(txn_id, item, value)

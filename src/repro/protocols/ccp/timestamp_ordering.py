@@ -22,7 +22,7 @@ the site normally resolves those first.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Generator, Optional
 
 from repro.errors import ConcurrencyAbort
 from repro.protocols.ccp.workspace import WorkspaceController
@@ -82,7 +82,7 @@ class TimestampOrderingController(WorkspaceController):
         return record
 
     # -- operations -----------------------------------------------------------
-    def read(self, txn_id: int, ts: float, item: str):
+    def read(self, txn_id: int, ts: float, item: str) -> Generator:
         self._check_doom(txn_id)
         self.stats.reads += 1
         record = self._item(item)
@@ -103,7 +103,7 @@ class TimestampOrderingController(WorkspaceController):
             record.read_ts = max(record.read_ts, ts)
             return self.store.read(item)
 
-    def prewrite(self, txn_id: int, ts: float, item: str, value: Any):
+    def prewrite(self, txn_id: int, ts: float, item: str, value: Any) -> Generator:
         self._check_doom(txn_id)
         self.stats.prewrites += 1
         record = self._item(item)

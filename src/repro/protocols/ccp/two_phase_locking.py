@@ -9,7 +9,7 @@ and is configurable (detection, timeout, wait-die, wound-wait).
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Generator, Optional
 
 from repro.protocols.ccp.workspace import WorkspaceController
 from repro.site.locks import LockManager, LockMode
@@ -40,7 +40,7 @@ class TwoPhaseLockingController(WorkspaceController):
             on_wound=self.doom,
         )
 
-    def read(self, txn_id: int, ts: float, item: str):
+    def read(self, txn_id: int, ts: float, item: str) -> Generator:
         self._check_doom(txn_id)
         self.stats.reads += 1
         grant = self.locks.acquire(txn_id, ts, item, LockMode.S)
@@ -57,7 +57,7 @@ class TwoPhaseLockingController(WorkspaceController):
             return value, self.store.version(item)
         return self.store.read(item)
 
-    def prewrite(self, txn_id: int, ts: float, item: str, value: Any):
+    def prewrite(self, txn_id: int, ts: float, item: str, value: Any) -> Generator:
         self._check_doom(txn_id)
         self.stats.prewrites += 1
         grant = self.locks.acquire(txn_id, ts, item, LockMode.X)

@@ -17,7 +17,7 @@ the protocol behaves correctly.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Generator
 
 from repro.errors import ConcurrencyAbort, ReplicationAbort
 from repro.protocols.base import ReplicationController
@@ -30,7 +30,7 @@ class AvailableCopiesController(ReplicationController):
 
     name = "ROWAA"
 
-    def do_read(self, ctx, item: str):
+    def do_read(self, ctx, item: str) -> Generator:
         spec = ctx.catalog.item(item)
         failures = []
         for site in ctx.order_local_first(spec.sites):
@@ -43,7 +43,7 @@ class AvailableCopiesController(ReplicationController):
             failures.append(f"{site}: {result.reason}")
         raise ReplicationAbort(f"no copy of {item!r} reachable ({'; '.join(failures)})")
 
-    def do_write(self, ctx, item: str, value: Any):
+    def do_write(self, ctx, item: str, value: Any) -> Generator:
         spec = ctx.catalog.item(item)
         sites = ctx.order_local_first(spec.sites)
         results = yield from ctx.access_prewrite_many(sites, item, value)

@@ -22,7 +22,7 @@ assembled read quorum; writes stamp ``max(version in write quorum) + 1``.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Generator
 
 from repro.errors import ConcurrencyAbort, ReplicationAbort
 from repro.protocols.base import ReplicationController
@@ -35,7 +35,7 @@ class QuorumConsensusController(ReplicationController):
 
     name = "QC"
 
-    def do_read(self, ctx, item: str):
+    def do_read(self, ctx, item: str) -> Generator:
         results = yield from self._assemble(ctx, item, write=False)
         best = max(results, key=lambda r: r.version)
         ctx.note_read(item, best.version)
@@ -43,7 +43,7 @@ class QuorumConsensusController(ReplicationController):
         # the decision; register them all as participants.
         return best.value
 
-    def do_write(self, ctx, item: str, value: Any):
+    def do_write(self, ctx, item: str, value: Any) -> Generator:
         results = yield from self._assemble(ctx, item, write=True, value=value)
         new_version = ctx.assign_version(results)
         for result in results:

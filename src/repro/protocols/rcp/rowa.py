@@ -16,7 +16,7 @@ Abort classification:
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Generator
 
 from repro.errors import ConcurrencyAbort, ReplicationAbort
 from repro.protocols.base import ReplicationController
@@ -29,7 +29,7 @@ class RowaController(ReplicationController):
 
     name = "ROWA"
 
-    def do_read(self, ctx, item: str):
+    def do_read(self, ctx, item: str) -> Generator:
         spec = ctx.catalog.item(item)
         candidates = ctx.order_local_first(spec.sites)
         failures = []
@@ -43,7 +43,7 @@ class RowaController(ReplicationController):
             failures.append(f"{site}: {result.reason}")
         raise ReplicationAbort(f"no copy of {item!r} reachable ({'; '.join(failures)})")
 
-    def do_write(self, ctx, item: str, value: Any):
+    def do_write(self, ctx, item: str, value: Any) -> Generator:
         spec = ctx.catalog.item(item)
         sites = ctx.order_local_first(spec.sites)
         results = yield from ctx.access_prewrite_many(sites, item, value)

@@ -13,7 +13,13 @@ import hashlib
 import random
 from typing import Iterator
 
-__all__ = ["RandomStreams", "zipf_weights"]
+__all__ = [
+    "RandomStreams",
+    "exponential",
+    "iterate_poisson_arrivals",
+    "weighted_choice",
+    "zipf_weights",
+]
 
 
 class RandomStreams:

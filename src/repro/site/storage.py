@@ -14,8 +14,8 @@ made them durable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterable
+from dataclasses import dataclass
+from typing import Any
 
 from repro.errors import CatalogError
 

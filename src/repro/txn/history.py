@@ -22,7 +22,7 @@ lets a non-serializable interleaving commit trips the cycle detector.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Optional
 
 __all__ = ["CommittedTxn", "HistoryRecorder", "SerializationGraph"]
 

@@ -17,7 +17,7 @@ times — the classroom path for stepping through a scenario.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import NetworkError, RpcTimeout, WorkloadError

@@ -9,7 +9,7 @@ how home sites are picked, and what happens after an abort.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import WorkloadError

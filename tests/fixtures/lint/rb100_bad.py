@@ -1,0 +1,4 @@
+"""Fixture: RB100 must fire — this file deliberately does not parse."""
+
+def broken(:
+    return None

@@ -1,0 +1,24 @@
+"""Fixture: RB103 must fire — both directions of the generator contract.
+
+Never imported; the undefined base-class names only matter to the AST.
+"""
+
+from typing import Generator
+
+
+def build_schedule(n: int) -> Generator:  # RB103: annotated, but no yield
+    return list(range(n))
+
+
+class FixtureRcp(ReplicationController):  # noqa: F821 - fixture, never imported
+    name = "FIXRCP"
+
+    def do_read(self, ctx, item):  # RB103: generator handler, no annotation
+        value = yield ctx.read_event(item)
+        return value
+
+    def do_write(self, ctx, item, value) -> Generator:  # correct: annotated
+        yield from ctx.prewrite_all(item, value)
+
+
+register_rcp("FIXRCP", FixtureRcp)  # noqa: F821 - keeps RB104 satisfied

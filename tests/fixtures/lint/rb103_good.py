@@ -1,0 +1,31 @@
+"""Fixture: the corrected counterpart of rb103_bad — RB103 must stay quiet."""
+
+from typing import Generator, Iterator
+
+
+def build_schedule(n: int) -> list:
+    return list(range(n))
+
+
+def emit_schedule(n: int) -> Iterator:
+    yield from range(n)
+
+
+class AbstractHandler:
+    def run(self, ctx) -> Generator:
+        """Interface stub: exempt even though it contains no yield."""
+        raise NotImplementedError
+
+
+class FixtureRcp(ReplicationController):  # noqa: F821 - fixture, never imported
+    name = "FIXRCP"
+
+    def do_read(self, ctx, item) -> Generator:
+        value = yield ctx.read_event(item)
+        return value
+
+    def do_write(self, ctx, item, value) -> Generator:
+        yield from ctx.prewrite_all(item, value)
+
+
+register_rcp("FIXRCP", FixtureRcp)  # noqa: F821

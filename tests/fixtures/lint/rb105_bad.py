@@ -1,0 +1,29 @@
+"""Fixture: RB105 must fire — mutable defaults and dropped __slots__.
+
+Never imported; analyzed as source only.
+"""
+
+
+class FixtureEvent:
+    __slots__ = ("sim", "callbacks")
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.callbacks = []
+
+
+class FixtureTimeout(FixtureEvent):  # RB105: slotted parent, no __slots__ here
+    def __init__(self, sim, delay):
+        super().__init__(sim)
+        self.delay = delay
+
+
+def enqueue(item, queue=[]):  # RB105: mutable default list
+    queue.append(item)
+    return queue
+
+
+def tally(name, counts={}, *, seen=set()):  # RB105 x2: dict and set defaults
+    counts[name] = counts.get(name, 0) + 1
+    seen.add(name)
+    return counts

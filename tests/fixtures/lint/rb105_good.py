@@ -1,0 +1,37 @@
+"""Fixture: the corrected counterpart of rb105_bad — RB105 must stay quiet."""
+
+
+class FixtureEvent:
+    __slots__ = ("sim", "callbacks")
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.callbacks = []
+
+
+class FixtureTimeout(FixtureEvent):
+    __slots__ = ("delay",)
+
+    def __init__(self, sim, delay):
+        super().__init__(sim)
+        self.delay = delay
+
+
+class UnrelatedHelper:
+    """No slotted ancestor: nothing to preserve, no finding."""
+
+    def __init__(self):
+        self.cache = {}
+
+
+def enqueue(item, queue=None):
+    if queue is None:
+        queue = []
+    queue.append(item)
+    return queue
+
+
+def tally(name, counts=None, *, seen=frozenset()):
+    counts = {} if counts is None else counts
+    counts[name] = counts.get(name, 0) + 1
+    return counts, seen | {name}
