@@ -4,13 +4,14 @@
 #   make lint        rainbow-lint over src/, benchmarks/, examples/
 #   make lint-all    rainbow-lint + ruff + mypy (skips tools not installed)
 #   make bench       kernel microbenchmark smoke run
+#   make chaos       chaos suite: 25 nemesis seeds, all safety invariants
 #   make rules       print the rainbow-lint rule catalog
 
 PY       ?= python
 PYPATH   := PYTHONPATH=src
 LINTDIRS := src benchmarks examples
 
-.PHONY: test lint lint-all bench rules
+.PHONY: test lint lint-all bench chaos rules
 
 test:
 	$(PYPATH) $(PY) -m pytest -x -q
@@ -32,6 +33,9 @@ lint-all: lint
 
 bench:
 	$(PYPATH) $(PY) -m pytest benchmarks/test_bench_kernel.py --benchmark-only -q -s
+
+chaos:
+	$(PYPATH) $(PY) -m repro chaos --seeds 25 -j 0
 
 rules:
 	$(PYPATH) $(PY) -m repro lint --list-rules

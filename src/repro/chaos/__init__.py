@@ -1,0 +1,43 @@
+"""Chaos engineering for Rainbow: nemesis, invariants, shrinking.
+
+The paper's experimental facility injects failures; this package *verifies*
+that the protocol stack stays safe under them.  A seeded nemesis
+(:mod:`~repro.chaos.nemesis`) composes crashes, partitions, link cuts, and
+probabilistic message loss/duplication into fault plans; the engine
+(:mod:`~repro.chaos.engine`) runs a full session under a plan, heals, and
+quiesces; the invariant suite (:mod:`~repro.chaos.invariants`) checks
+atomicity, convergence, orphan resolution, serializability, and monitor
+conservation; and the shrinker (:mod:`~repro.chaos.shrink`) delta-debugs a
+failing plan to a minimal classroom scenario.  ``python -m repro chaos``
+is the entry point.
+"""
+
+from repro.chaos.engine import ChaosCaseReport, run_chaos_case
+from repro.chaos.invariants import INVARIANTS, check_all
+from repro.chaos.nemesis import (
+    ChaosPlan,
+    FaultChunk,
+    generate_plan,
+    render_schedule,
+    schedule_from_chunks,
+)
+from repro.chaos.shrink import ShrinkResult, ddmin, shrink_case
+from repro.chaos.suite import ChaosSuiteResult, render_suite_report, run_chaos_suite
+
+__all__ = [
+    "ChaosCaseReport",
+    "ChaosPlan",
+    "ChaosSuiteResult",
+    "FaultChunk",
+    "INVARIANTS",
+    "ShrinkResult",
+    "check_all",
+    "ddmin",
+    "generate_plan",
+    "render_schedule",
+    "render_suite_report",
+    "run_chaos_case",
+    "run_chaos_suite",
+    "schedule_from_chunks",
+    "shrink_case",
+]

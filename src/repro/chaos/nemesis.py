@@ -1,0 +1,228 @@
+"""The nemesis: seeded generation of randomized fault plans.
+
+A chaos run needs an adversary.  The nemesis composes the repertoire the
+Rainbow GUI exposes — site crashes/recoveries, network partitions, link
+cuts — plus the probabilistic per-link message loss and duplication the
+chaos layer adds, into a :class:`FaultSchedule` drawn deterministically
+from a seed.
+
+Plans are built from :class:`FaultChunk` units.  A chunk is one *atomic*
+fault episode: a crash **and** its recovery, a partition **and** its heal,
+a cut **and** its restore, a flaky window **and** its clear.  Keeping the
+repair glued to the fault means any *subset* of chunks is still a valid,
+self-healing plan — which is exactly what the delta-debugging shrinker
+(:mod:`repro.chaos.shrink`) needs.
+
+Construction guarantees validity: recoveries come strictly after their
+crash, per-site crash windows never overlap, partition windows never
+overlap each other (a heal heals every partition), and every repair lands
+before ``repair_deadline`` so the session can quiesce.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.net.faults import FaultSchedule
+from repro.sim.randoms import RandomStreams
+
+__all__ = [
+    "FaultChunk",
+    "ChaosPlan",
+    "generate_plan",
+    "schedule_from_chunks",
+    "render_schedule",
+]
+
+#: Relative weights of the fault kinds the nemesis draws from.
+KIND_WEIGHTS = (
+    ("crash", 0.40),
+    ("partition", 0.20),
+    ("link_cut", 0.20),
+    ("flaky_link", 0.20),
+)
+
+
+@dataclass(frozen=True)
+class FaultChunk:
+    """One atomic fault episode (fault + its repair)."""
+
+    kind: str  # "crash" | "partition" | "link_cut" | "flaky_link"
+    start: float
+    end: float
+    target: str = ""  # site name (crash chunks)
+    hosts: tuple[str, ...] = ()  # host pair (link chunks)
+    groups: tuple[tuple[str, ...], ...] = ()  # partition sides
+    loss: float = 0.0
+    duplicate: float = 0.0
+
+    def describe(self) -> str:
+        window = f"[{self.start:.1f}, {self.end:.1f}]"
+        if self.kind == "crash":
+            return f"crash {self.target} {window}"
+        if self.kind == "partition":
+            sides = " | ".join(",".join(group) for group in self.groups)
+            return f"partition {{{sides}}} {window}"
+        if self.kind == "link_cut":
+            return f"cut {self.hosts[0]}~{self.hosts[1]} {window}"
+        return (
+            f"flaky {self.hosts[0]}~{self.hosts[1]} {window} "
+            f"loss={self.loss:.2f} dup={self.duplicate:.2f}"
+        )
+
+
+@dataclass
+class ChaosPlan:
+    """A seed's generated fault plan (the nemesis output)."""
+
+    seed: int
+    chunks: list[FaultChunk] = field(default_factory=list)
+
+    def schedule(self) -> FaultSchedule:
+        return schedule_from_chunks(self.chunks)
+
+    def describe(self) -> list[str]:
+        return [chunk.describe() for chunk in self.chunks]
+
+
+def schedule_from_chunks(chunks: list[FaultChunk] | tuple[FaultChunk, ...]) -> FaultSchedule:
+    """Assemble a :class:`FaultSchedule` from fault chunks."""
+    schedule = FaultSchedule()
+    for chunk in chunks:
+        if chunk.kind == "crash":
+            schedule.crashes.append((chunk.target, chunk.start))
+            schedule.recoveries.append((chunk.target, chunk.end))
+        elif chunk.kind == "partition":
+            schedule.partitions.append(
+                (chunk.start, [list(group) for group in chunk.groups])
+            )
+            schedule.heals.append(chunk.end)
+        elif chunk.kind == "link_cut":
+            schedule.link_cuts.append(
+                (chunk.hosts[0], chunk.hosts[1], chunk.start, chunk.end)
+            )
+        elif chunk.kind == "flaky_link":
+            schedule.flaky_links.append(
+                (
+                    chunk.hosts[0],
+                    chunk.hosts[1],
+                    chunk.start,
+                    chunk.end,
+                    chunk.loss,
+                    chunk.duplicate,
+                )
+            )
+        else:  # pragma: no cover - nemesis only emits the four kinds
+            raise ValueError(f"unknown fault chunk kind {chunk.kind!r}")
+    return schedule
+
+
+def generate_plan(
+    seed: int,
+    site_names: list[str],
+    site_hosts: list[str],
+    horizon: float,
+    intensity: float = 1.0,
+) -> ChaosPlan:
+    """Draw a randomized, self-healing fault plan from ``seed``.
+
+    ``site_names`` are crashable targets; ``site_hosts`` are the hosts the
+    network-level faults (partitions, cuts, flaky windows) act on.
+    ``intensity`` scales the number of fault episodes attempted
+    (``intensity * len(site_names)``, at least one).  All randomness comes
+    from the dedicated ``"nemesis"`` stream of ``seed``, so the same
+    arguments always produce the same plan.
+    """
+    rng: random.Random = RandomStreams(seed).get("nemesis")
+    hosts = sorted(set(site_hosts))
+    n_episodes = max(1, round(intensity * len(site_names)))
+    fault_window = (0.10 * horizon, 0.65 * horizon)
+    repair_deadline = 0.85 * horizon
+    min_duration = 0.05 * horizon
+    max_duration = 0.25 * horizon
+
+    site_busy_until = {name: 0.0 for name in site_names}
+    partition_busy_until = 0.0
+    chunks: list[FaultChunk] = []
+    kinds = [kind for kind, _weight in KIND_WEIGHTS]
+    weights = [weight for _kind, weight in KIND_WEIGHTS]
+
+    for _ in range(n_episodes):
+        kind = rng.choices(kinds, weights=weights, k=1)[0]
+        start = rng.uniform(*fault_window)
+        end = min(start + rng.uniform(min_duration, max_duration), repair_deadline)
+        if end <= start:
+            continue
+        if kind == "crash":
+            target = rng.choice(site_names)
+            if site_busy_until[target] > start:
+                continue  # overlapping crash windows would tangle recovery pairing
+            site_busy_until[target] = end
+            chunks.append(FaultChunk("crash", start, end, target=target))
+        elif kind == "partition":
+            if partition_busy_until > start or len(hosts) < 2:
+                continue  # a heal heals every partition; keep windows disjoint
+            partition_busy_until = end
+            side_size = rng.randint(1, len(hosts) - 1)
+            side = set(rng.sample(hosts, side_size))
+            groups = (
+                tuple(host for host in hosts if host in side),
+                tuple(host for host in hosts if host not in side),
+            )
+            chunks.append(FaultChunk("partition", start, end, groups=groups))
+        elif kind == "link_cut":
+            if len(hosts) < 2:
+                continue
+            pair = tuple(rng.sample(hosts, 2))
+            chunks.append(FaultChunk("link_cut", start, end, hosts=pair))
+        else:  # flaky_link
+            if len(hosts) < 2:
+                continue
+            pair = tuple(rng.sample(hosts, 2))
+            chunks.append(
+                FaultChunk(
+                    "flaky_link",
+                    start,
+                    end,
+                    hosts=pair,
+                    loss=rng.uniform(0.05, 0.30),
+                    duplicate=rng.uniform(0.05, 0.30),
+                )
+            )
+
+    if not chunks:
+        # Degenerate draw (every episode skipped): fall back to one crash so
+        # a chaos case always exercises at least one fault.
+        target = rng.choice(site_names)
+        chunks.append(
+            FaultChunk("crash", fault_window[0], 0.5 * horizon, target=target)
+        )
+    chunks.sort(key=lambda chunk: (chunk.start, chunk.kind, chunk.target, chunk.hosts))
+    return ChaosPlan(seed=seed, chunks=chunks)
+
+
+def render_schedule(schedule: FaultSchedule) -> str:
+    """Pretty-print a schedule as ready-to-paste classroom Python.
+
+    The output constructs the exact :class:`FaultSchedule`, suitable for a
+    lab handout or a regression test
+    (``config.faults.schedule = <paste>``).
+    """
+    lines = ["FaultSchedule("]
+    if schedule.crashes:
+        lines.append(f"    crashes={schedule.crashes!r},")
+    if schedule.recoveries:
+        lines.append(f"    recoveries={schedule.recoveries!r},")
+    if schedule.partitions:
+        lines.append(f"    partitions={schedule.partitions!r},")
+    if schedule.heals:
+        lines.append(f"    heals={schedule.heals!r},")
+    if schedule.link_cuts:
+        lines.append(f"    link_cuts={schedule.link_cuts!r},")
+    if schedule.flaky_links:
+        lines.append(f"    flaky_links={schedule.flaky_links!r},")
+    lines.append(")")
+    if len(lines) == 2:
+        return "FaultSchedule()  # no faults needed: the violation is fault-free"
+    return "\n".join(lines)

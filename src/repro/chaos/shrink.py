@@ -1,0 +1,115 @@
+"""Fault-plan shrinking: delta-debug a failing seed to a minimal plan.
+
+A failing chaos seed usually carries more faults than the violation needs.
+:func:`shrink_case` applies the classic *ddmin* algorithm over the plan's
+:class:`~repro.chaos.nemesis.FaultChunk` list: it replays the **same
+seed** (same workload, same network randomness) with subsets of the fault
+episodes removed, keeping a subset only while the run still violates one
+of the originally failing invariants.  Because every chunk is an atomic
+fault+repair pair, every subset is itself a valid, self-healing plan.
+
+The result is a 1-minimal plan — removing any single remaining episode
+makes the violation disappear — rendered as a ready-to-paste classroom
+scenario by :func:`repro.chaos.nemesis.render_schedule`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.chaos.engine import ChaosCaseReport, run_chaos_case
+from repro.chaos.nemesis import FaultChunk, render_schedule, schedule_from_chunks
+
+__all__ = ["ShrinkResult", "ddmin", "shrink_case"]
+
+#: Upper bound on replays per shrink (ddmin is quadratic in the worst case).
+MAX_PROBES = 64
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of shrinking one failing case."""
+
+    seed: int
+    original_chunks: tuple[FaultChunk, ...]
+    minimal_chunks: tuple[FaultChunk, ...]
+    reproduced: list[str] = field(default_factory=list)  # invariants still violated
+    probes: int = 0  # replays spent
+
+    def scenario(self) -> str:
+        """The minimal plan as paste-ready classroom Python."""
+        return render_schedule(schedule_from_chunks(list(self.minimal_chunks)))
+
+
+def ddmin(
+    items: tuple,
+    fails: Callable[[tuple], bool],
+    max_probes: int = MAX_PROBES,
+) -> tuple[tuple, int]:
+    """Zeller's ddmin: a 1-minimal failing subsequence of ``items``.
+
+    ``fails(subset)`` must be deterministic.  Returns ``(subset, probes)``;
+    if the probe budget runs out, the smallest failing subset found so far
+    is returned (still failing, maybe not 1-minimal).
+    """
+    probes = 0
+    current = tuple(items)
+    granularity = 2
+    while len(current) >= 2 and probes < max_probes:
+        chunk_size = max(1, len(current) // granularity)
+        starts = list(range(0, len(current), chunk_size))
+        reduced = False
+        for start in starts:
+            complement = current[:start] + current[start + chunk_size :]
+            if not complement and len(starts) > 1:
+                continue
+            probes += 1
+            if fails(complement):
+                current = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+            if probes >= max_probes:
+                break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    # Can the violation survive with no faults at all?  (Broken protocols
+    # often fail fault-free; the minimal scenario should say so.)
+    if current and probes < max_probes:
+        probes += 1
+        if fails(()):
+            current = ()
+    return current, probes
+
+
+def shrink_case(
+    report: ChaosCaseReport,
+    max_probes: int = MAX_PROBES,
+    **case_kwargs,
+) -> ShrinkResult:
+    """Delta-debug a failing case's fault plan to a minimal reproduction.
+
+    ``case_kwargs`` must be the keyword arguments the original
+    :func:`~repro.chaos.engine.run_chaos_case` ran with (protocol stack,
+    sizes), so replays differ only by the injected faults.
+    """
+    if report.ok:
+        raise ValueError(f"seed {report.seed} did not fail; nothing to shrink")
+    target = set(report.violated_invariants())
+
+    def fails(chunks: tuple) -> bool:
+        replay = run_chaos_case(report.seed, chunks=tuple(chunks), **case_kwargs)
+        return bool(target & set(replay.violated_invariants()))
+
+    minimal, probes = ddmin(tuple(report.chunks), fails, max_probes=max_probes)
+    replay = run_chaos_case(report.seed, chunks=tuple(minimal), **case_kwargs)
+    return ShrinkResult(
+        seed=report.seed,
+        original_chunks=tuple(report.chunks),
+        minimal_chunks=tuple(minimal),
+        reproduced=sorted(target & set(replay.violated_invariants())),
+        probes=probes + 1,
+    )

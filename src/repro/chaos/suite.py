@@ -1,0 +1,106 @@
+"""The chaos suite: many seeded cases in parallel, one deterministic report.
+
+:func:`run_chaos_suite` fans seeds out through the experiment runner (each
+case is an independent simulation, so results are byte-identical for any
+job count), collects the per-seed reports, and delta-debugs the failing
+seeds down to minimal classroom scenarios.  :func:`render_suite_report`
+prints it all — the report contains no wall-clock or host-dependent data,
+so the same seeds always render the same bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.chaos.engine import ChaosCaseReport, run_chaos_case
+from repro.chaos.invariants import INVARIANTS
+from repro.chaos.shrink import ShrinkResult, shrink_case
+from repro.experiments.runner import Trial, run_trials
+
+__all__ = ["ChaosSuiteResult", "run_chaos_suite", "render_suite_report"]
+
+#: How many failing seeds get the (expensive) shrinking treatment.
+MAX_SHRINKS = 3
+
+
+@dataclass
+class ChaosSuiteResult:
+    """All cases of one suite run plus the shrunk reproductions."""
+
+    cases: list[ChaosCaseReport] = field(default_factory=list)
+    shrinks: list[ShrinkResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(case.ok for case in self.cases)
+
+    def failing(self) -> list[ChaosCaseReport]:
+        return [case for case in self.cases if not case.ok]
+
+
+def run_chaos_suite(
+    seeds: list[int],
+    n_jobs: Optional[int] = 1,
+    shrink: bool = True,
+    max_shrinks: int = MAX_SHRINKS,
+    **case_kwargs,
+) -> ChaosSuiteResult:
+    """Run one chaos case per seed and shrink the failures.
+
+    ``case_kwargs`` forwards to :func:`~repro.chaos.engine.run_chaos_case`
+    (protocol stack, sizes, intensity).  Cases run across ``n_jobs``
+    worker processes; shrinking replays run serially in-process (they are
+    sequential by nature — each probe depends on the last).
+    """
+    trials = [
+        Trial(run_chaos_case, {"seed": seed, **case_kwargs}, tag=seed)
+        for seed in seeds
+    ]
+    cases = run_trials(trials, n_jobs=n_jobs)
+    result = ChaosSuiteResult(cases=cases)
+    if shrink:
+        for case in result.failing()[:max_shrinks]:
+            result.shrinks.append(shrink_case(case, **case_kwargs))
+    return result
+
+
+def render_suite_report(result: ChaosSuiteResult) -> str:
+    """Deterministic text report of a suite run."""
+    lines = ["Chaos suite", "==========="]
+    header = (
+        f"{'seed':>6}  {'faults':>6}  {'commit':>6}  {'abort':>5}  "
+        f"{'lost':>4}  {'dup':>5}  {'lossy':>5}  verdict"
+    )
+    lines += [header, "-" * len(header)]
+    for case in result.cases:
+        verdict = "ok" if case.ok else "FAIL " + ",".join(case.violated_invariants())
+        lines.append(
+            f"{case.seed:>6}  {len(case.chunks):>6}  {case.committed:>6}  "
+            f"{case.aborted:>5}  {case.lost:>4}  {case.messages_duplicated:>5}  "
+            f"{case.messages_lost_random:>5}  {verdict}"
+        )
+    total = len(result.cases)
+    failing = result.failing()
+    lines.append("")
+    lines.append(f"{total - len(failing)}/{total} seeds green across invariants: "
+                 + ", ".join(INVARIANTS))
+    for case in failing:
+        lines.append("")
+        lines.append(f"seed {case.seed} violations:")
+        for text in case.flat_violations():
+            lines.append(f"  {text}")
+        lines.append("  fault plan:")
+        for chunk in case.chunks:
+            lines.append(f"    {chunk.describe()}")
+    for shrink in result.shrinks:
+        lines.append("")
+        lines.append(
+            f"seed {shrink.seed}: shrunk {len(shrink.original_chunks)} -> "
+            f"{len(shrink.minimal_chunks)} fault episode(s) in {shrink.probes} "
+            f"replays; still violates: {', '.join(shrink.reproduced) or '(none)'}"
+        )
+        lines.append("  minimal classroom scenario (config.faults.schedule = ...):")
+        for line in shrink.scenario().splitlines():
+            lines.append(f"    {line}")
+    return "\n".join(lines)

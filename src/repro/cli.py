@@ -10,6 +10,11 @@ Commands:
   worker processes (byte-identical output for every N).
 * ``classroom [name]`` — run all (or one) lab assignment and print the
   reports.
+* ``chaos`` — run the chaos suite: one randomized nemesis session per seed,
+  the safety-invariant catalog over each final state, and delta-debugged
+  minimal fault plans for any failures; ``--seeds N`` and ``-j N`` control
+  scale (byte-identical report for every job count), ``--ccp NOCC`` points
+  the suite at a deliberately broken classroom protocol.
 * ``panels`` — print the configuration panels of the default instance.
 * ``list`` — list experiments and assignments.
 * ``lint [paths]`` — run rainbow-lint (the AST-based determinism &
@@ -187,6 +192,24 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import render_suite_report, run_chaos_suite
+
+    result = run_chaos_suite(
+        list(range(1, args.seeds + 1)),
+        n_jobs=args.jobs,
+        shrink=not args.no_shrink,
+        n_sites=args.sites,
+        n_transactions=args.transactions,
+        rcp=args.rcp,
+        ccp=args.ccp,
+        acp=args.acp,
+        intensity=args.intensity,
+    )
+    print(render_suite_report(result))
+    return 0 if result.ok else 1
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     from repro.classroom import all_assignments
 
@@ -238,6 +261,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     panels = commands.add_parser("panels", help="print the configuration panels")
     panels.set_defaults(fn=_cmd_panels)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run the chaos suite: seeded nemesis + safety invariants + shrinking",
+    )
+    chaos.add_argument("--seeds", type=int, default=25, metavar="N",
+                       help="run seeds 1..N (default: 25)")
+    chaos.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the cases (0 or -1 = all cores); "
+        "the report is byte-identical for every N",
+    )
+    chaos.add_argument("--transactions", type=int, default=40,
+                       help="transactions per case (default: 40)")
+    chaos.add_argument("--sites", type=int, default=4,
+                       help="sites per case (default: 4)")
+    chaos.add_argument("--rcp", default="QC", help="replication protocol (default: QC)")
+    chaos.add_argument("--ccp", default="2PL",
+                       help="concurrency protocol; classroom names like NOCC work too")
+    chaos.add_argument("--acp", default="2PC", help="commit protocol (default: 2PC)")
+    chaos.add_argument("--intensity", type=float, default=1.0,
+                       help="fault episodes per site (default: 1.0)")
+    chaos.add_argument("--no-shrink", action="store_true",
+                       help="skip delta-debugging the failing seeds")
+    chaos.set_defaults(fn=_cmd_chaos)
 
     listing = commands.add_parser("list", help="list experiments and assignments")
     listing.set_defaults(fn=_cmd_list)

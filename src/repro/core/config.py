@@ -248,6 +248,8 @@ class RainbowConfig:
                     for at, groups in schedule.get("partitions", [])
                 ],
                 heals=list(schedule.get("heals", [])),
+                link_cuts=[tuple(entry) for entry in schedule.get("link_cuts", [])],
+                flaky_links=[tuple(entry) for entry in schedule.get("flaky_links", [])],
             ),
             random_targets=list(faults.get("random_targets", [])),
             mttf=faults.get("mttf", 0.0),

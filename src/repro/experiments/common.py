@@ -15,6 +15,7 @@ from typing import Any, Optional
 
 from repro.core.config import RainbowConfig
 from repro.core.instance import RainbowInstance
+from repro.protocols.base import ccp_accepts
 
 __all__ = ["ExperimentTable", "build_instance", "FAILURE_TIMEOUTS"]
 
@@ -122,9 +123,10 @@ def build_instance(
         config.protocols.vote_timeout = FAILURE_TIMEOUTS["vote_timeout"]
         config.protocols.ack_timeout = FAILURE_TIMEOUTS["ack_timeout"]
         config.protocols.ack_retries = FAILURE_TIMEOUTS["ack_retries"]
-        config.protocols.ccp_options = {
-            "wait_timeout": FAILURE_TIMEOUTS["ccp_wait_timeout"]
-        }
+        if ccp_accepts(ccp, "wait_timeout"):
+            config.protocols.ccp_options.setdefault(
+                "wait_timeout", FAILURE_TIMEOUTS["ccp_wait_timeout"]
+            )
         config.uncertainty_timeout = FAILURE_TIMEOUTS["uncertainty_timeout"]
         config.decision_retry = FAILURE_TIMEOUTS["decision_retry"]
         config.gc_interval = FAILURE_TIMEOUTS["gc_interval"]

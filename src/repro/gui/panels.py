@@ -215,6 +215,7 @@ def render_traffic_panel(network_stats, top: int = 10) -> str:
     lines = [
         f"Messages sent      : {network_stats.sent}",
         f"Delivered / dropped: {network_stats.delivered} / {network_stats.dropped}",
+        f"Lost / duplicated  : {network_stats.lost_random} / {network_stats.duplicated}",
         f"Round trips        : {network_stats.round_trips}",
         f"RPC timeouts       : {network_stats.rpc_timeouts}",
         "",

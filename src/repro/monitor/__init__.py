@@ -1,6 +1,7 @@
 """Progress monitor: statistics, time series, tracing, result export."""
 
 from repro.monitor.export import (
+    network_stats_to_json,
     statistics_to_json,
     table_to_csv,
     table_to_json,
@@ -17,6 +18,7 @@ __all__ = [
     "TraceEvent",
     "TxnRecord",
     "format_history",
+    "network_stats_to_json",
     "session_report",
     "statistics_to_json",
     "table_to_csv",

@@ -23,6 +23,7 @@ __all__ = [
     "table_to_csv",
     "table_to_json",
     "statistics_to_json",
+    "network_stats_to_json",
     "timeseries_to_csv",
     "write_text",
 ]
@@ -60,6 +61,18 @@ def statistics_to_json(
 ) -> str:
     """Serialise the §3 statistics block to JSON."""
     text = json.dumps(asdict(statistics), indent=2, sort_keys=True, default=str)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def network_stats_to_json(network_stats, path: Optional[str | Path] = None) -> str:
+    """Serialise a :class:`NetworkStats` snapshot to JSON.
+
+    Includes the per-type breakdowns of dropped (faults), randomly lost,
+    and duplicated messages alongside the aggregate counters.
+    """
+    text = json.dumps(network_stats.snapshot(), indent=2, sort_keys=True, default=str)
     if path is not None:
         Path(path).write_text(text)
     return text

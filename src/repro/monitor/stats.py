@@ -81,6 +81,13 @@ class OutputStatistics:
     home_txns_by_site: dict[str, int]
     messages_handled_by_site: dict[str, int]
     load_imbalance: float  # coefficient of variation of per-site home txns
+    # Fault-induced message pathologies (alongside dropped_by_type in the
+    # network snapshot): messages deterministically dropped by partitions,
+    # cut links, and crashed hosts; lost to probabilistic loss; and
+    # duplicated by flaky links.
+    messages_dropped: int = 0
+    messages_lost_random: int = 0
+    messages_duplicated: int = 0
     # Simulator self-measurement: how fast the kernel ran this session in
     # real time.  These depend on the host machine — unlike every field
     # above, they are NOT deterministic and are excluded from experiment
@@ -123,6 +130,9 @@ class OutputStatistics:
             ("Mean messages per transaction", fmt(self.mean_messages_per_txn)),
             ("Round-trip messages", fmt(self.round_trips)),
             ("RPC timeouts", fmt(self.rpc_timeouts)),
+            ("Messages dropped (faults)", fmt(self.messages_dropped)),
+            ("Messages lost (random)", fmt(self.messages_lost_random)),
+            ("Messages duplicated", fmt(self.messages_duplicated)),
             ("Mean response time", fmt(self.mean_response_time)),
             ("Median response time", fmt(self.median_response_time)),
             ("P95 response time", fmt(self.p95_response_time)),
@@ -285,6 +295,9 @@ class ProgressMonitor:
             ),
             round_trips=net.round_trips,
             rpc_timeouts=net.rpc_timeouts,
+            messages_dropped=net.dropped,
+            messages_lost_random=net.lost_random,
+            messages_duplicated=net.duplicated,
             mean_response_time=mean_rt,
             median_response_time=median_rt,
             p95_response_time=p95_rt,

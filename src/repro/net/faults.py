@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, Protocol
+from typing import Iterable, Optional, Protocol
 
 from repro.errors import ConfigurationError
 from repro.net.network import Network
@@ -40,19 +40,41 @@ class FaultEvent:
     """One injected fault or recovery, as recorded in the session log."""
 
     time: float
-    kind: str  # "crash" | "recover" | "partition" | "heal" | "link_cut" | "link_restore"
+    kind: str  # "crash" | "recover" | "partition" | "heal" | "link_cut" |
+    #            "link_restore" | "flaky_link" | "flaky_clear"
     target: str
     detail: str = ""
 
 
 @dataclass
 class FaultSchedule:
-    """A declarative fault plan that can be stored inside a RainbowConfig."""
+    """A declarative fault plan that can be stored inside a RainbowConfig.
+
+    ``link_cuts`` entries are ``(host_a, host_b, cut_at, restore_at)``
+    (``restore_at`` may be ``None`` for a permanent cut); ``flaky_links``
+    entries are ``(host_a, host_b, start, end, loss, duplicate)`` — the
+    link's probabilistic loss/duplication window.
+    """
 
     crashes: list[tuple[str, float]] = field(default_factory=list)
     recoveries: list[tuple[str, float]] = field(default_factory=list)
     partitions: list[tuple[float, list[list[str]]]] = field(default_factory=list)
     heals: list[float] = field(default_factory=list)
+    link_cuts: list[tuple[str, str, float, Optional[float]]] = field(default_factory=list)
+    flaky_links: list[tuple[str, str, float, float, float, float]] = field(
+        default_factory=list
+    )
+
+    def is_empty(self) -> bool:
+        """True when the schedule injects nothing at all."""
+        return not (
+            self.crashes
+            or self.recoveries
+            or self.partitions
+            or self.heals
+            or self.link_cuts
+            or self.flaky_links
+        )
 
 
 class FaultInjector:
@@ -143,8 +165,42 @@ class FaultInjector:
 
             self._at(restore_at, _restore)
 
+    def schedule_flaky_link(
+        self,
+        host_a: str,
+        host_b: str,
+        start: float,
+        end: float,
+        loss: float = 0.0,
+        duplicate: float = 0.0,
+    ) -> None:
+        """Make the ``host_a``–``host_b`` link lossy/duplicating in a window."""
+        if end <= start:
+            raise ConfigurationError("flaky-link window must end after it starts")
+
+        def _start() -> None:
+            self.network.set_link_flakiness(host_a, host_b, loss, duplicate)
+            self.log.append(
+                FaultEvent(
+                    self.sim.now,
+                    "flaky_link",
+                    f"{host_a}~{host_b}",
+                    detail=f"loss={loss} dup={duplicate}",
+                )
+            )
+
+        def _clear() -> None:
+            self.network.clear_link_flakiness(host_a, host_b)
+            self.log.append(
+                FaultEvent(self.sim.now, "flaky_clear", f"{host_a}~{host_b}")
+            )
+
+        self._at(start, _start)
+        self._at(end, _clear)
+
     def apply_schedule(self, schedule: FaultSchedule) -> None:
-        """Install every event of a declarative :class:`FaultSchedule`."""
+        """Validate and install every event of a :class:`FaultSchedule`."""
+        self.validate_schedule(schedule)
         for name, at in schedule.crashes:
             self.schedule_crash(name, at)
         for name, at in schedule.recoveries:
@@ -153,6 +209,90 @@ class FaultInjector:
             self.schedule_partition(groups, at)
         for at in schedule.heals:
             self.schedule_heal(at)
+        for host_a, host_b, at, restore_at in schedule.link_cuts:
+            self.schedule_link_cut(host_a, host_b, at, restore_at)
+        for host_a, host_b, start, end, loss, duplicate in schedule.flaky_links:
+            self.schedule_flaky_link(host_a, host_b, start, end, loss, duplicate)
+
+    def validate_schedule(self, schedule: FaultSchedule) -> None:
+        """Reject schedules that would silently produce a confusing run.
+
+        Checks, each raising :class:`ConfigurationError` naming the
+        offending entry:
+
+        * crash/recovery targets must be registered with the injector;
+        * every recovery must come strictly *after* an unmatched crash of
+          the same target (a recovery at or before its crash is a typo);
+        * partition groups, link cuts, and flaky links may only name hosts
+          that actually exist on the network, and no host may appear in two
+          groups of the same partition;
+        * windowed events (flaky links) must have positive duration and
+          probabilities in ``[0, 1)``.
+        """
+        for name, at in schedule.crashes + schedule.recoveries:
+            if name not in self._targets:
+                raise ConfigurationError(
+                    f"fault schedule names unknown target {name!r} (at t={at})"
+                )
+        by_target: dict[str, list[tuple[float, int]]] = {}
+        for name, at in schedule.crashes:
+            by_target.setdefault(name, [])
+        for name, at in schedule.recoveries:
+            by_target.setdefault(name, [])
+        for name in by_target:
+            crashes = sorted(at for n, at in schedule.crashes if n == name)
+            recoveries = sorted(at for n, at in schedule.recoveries if n == name)
+            if len(recoveries) > len(crashes):
+                raise ConfigurationError(
+                    f"{name!r} has {len(recoveries)} recoveries for "
+                    f"{len(crashes)} crashes"
+                )
+            for crash_at, recover_at in zip(crashes, recoveries):
+                if recover_at <= crash_at:
+                    raise ConfigurationError(
+                        f"recovery of {name!r} at t={recover_at} is not after "
+                        f"its crash at t={crash_at}"
+                    )
+        known_hosts = set(self.network.hosts())
+        for at, groups in schedule.partitions:
+            seen: set[str] = set()
+            for group in groups:
+                for host in group:
+                    if host not in known_hosts:
+                        raise ConfigurationError(
+                            f"partition at t={at} names unknown host {host!r} "
+                            f"(known: {sorted(known_hosts)})"
+                        )
+                    if host in seen:
+                        raise ConfigurationError(
+                            f"partition at t={at} lists host {host!r} in two groups"
+                        )
+                    seen.add(host)
+        for host_a, host_b, at, restore_at in schedule.link_cuts:
+            for host in (host_a, host_b):
+                if host not in known_hosts:
+                    raise ConfigurationError(
+                        f"link cut {host_a!r}~{host_b!r} at t={at} names "
+                        f"unknown host {host!r}"
+                    )
+        for host_a, host_b, start, end, loss, duplicate in schedule.flaky_links:
+            for host in (host_a, host_b):
+                if host not in known_hosts:
+                    raise ConfigurationError(
+                        f"flaky link {host_a!r}~{host_b!r} at t={start} names "
+                        f"unknown host {host!r}"
+                    )
+            if end <= start:
+                raise ConfigurationError(
+                    f"flaky link {host_a!r}~{host_b!r}: window [{start}, {end}] "
+                    "must end after it starts"
+                )
+            for rate, label in ((loss, "loss"), (duplicate, "duplicate")):
+                if not 0.0 <= rate < 1.0:
+                    raise ConfigurationError(
+                        f"flaky link {host_a!r}~{host_b!r}: {label} rate {rate} "
+                        "must be in [0, 1)"
+                    )
 
     # -- stochastic faults ---------------------------------------------------
     def random_crash_recover(

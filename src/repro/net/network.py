@@ -12,7 +12,10 @@ Failure semantics (driven by the fault injector):
   and queued messages to it are lost, like a crashed Java process;
 * a *partition* silently drops messages crossing partition boundaries;
 * an explicitly cut *link* drops messages in both directions;
-* an optional random *loss rate* models an unreliable transport.
+* an optional random *loss rate* models an unreliable transport;
+* a *flaky link* overrides the loss rate for one host pair and may also
+  *duplicate* messages (an independent delivery with its own latency draw),
+  stressing the idempotence of decision delivery and WAL replay.
 
 Every send is accounted (by type, by category, delivered/dropped) so the
 progress monitor can report "total number of messages generated per time
@@ -45,6 +48,13 @@ class NetworkStats:
         self.rpc_timeouts = 0
         self.by_type: Counter[str] = Counter()
         self.dropped_by_type: Counter[str] = Counter()
+        # Unreliable-transport accounting: messages dropped by the random
+        # loss rate (a subset of ``dropped``) and extra copies injected by
+        # link duplication (never counted in ``sent``).
+        self.lost_random = 0
+        self.lost_by_type: Counter[str] = Counter()
+        self.duplicated = 0
+        self.duplicated_by_type: Counter[str] = Counter()
         self.bytes_sent = 0
         self.queueing_delay_total = 0.0
 
@@ -58,6 +68,10 @@ class NetworkStats:
             "rpc_timeouts": self.rpc_timeouts,
             "by_type": dict(self.by_type),
             "dropped_by_type": dict(self.dropped_by_type),
+            "lost_random": self.lost_random,
+            "lost_by_type": dict(self.lost_by_type),
+            "duplicated": self.duplicated,
+            "duplicated_by_type": dict(self.duplicated_by_type),
             "bytes_sent": self.bytes_sent,
             "queueing_delay_total": self.queueing_delay_total,
         }
@@ -216,9 +230,14 @@ class Network:
         loss_rate: float = 0.0,
         host_service_time: float = 0.0,
         seed: int | None = None,
+        duplication_rate: float = 0.0,
     ):
         if not 0.0 <= loss_rate < 1.0:
             raise NetworkError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if not 0.0 <= duplication_rate < 1.0:
+            raise NetworkError(
+                f"duplication_rate must be in [0, 1), got {duplication_rate}"
+            )
         if host_service_time < 0:
             raise NetworkError("host_service_time must be >= 0")
         if rng is not None and seed is not None:
@@ -234,6 +253,7 @@ class Network:
             rng = random.Random(seed)
         self.rng = rng
         self.loss_rate = loss_rate
+        self.duplication_rate = duplication_rate
         # Receiver-side serialisation: each host processes incoming
         # messages one at a time, ``host_service_time * size`` each, so a
         # burst to one host queues up.  0 disables queueing (infinite
@@ -244,6 +264,9 @@ class Network:
         self._endpoints: dict[str, Endpoint] = {}
         self._partition_of: dict[str, int] = {}
         self._cut_links: set[frozenset[str]] = set()
+        #: host-pair -> (loss, duplicate) probabilities overriding the
+        #: network-wide rates for messages crossing that link.
+        self._flaky_links: dict[frozenset[str], tuple[float, float]] = {}
         self._observers: list[Callable[[Message, str], None]] = []
 
     # -- registration -------------------------------------------------------
@@ -265,6 +288,10 @@ class Network:
     def addresses(self) -> list[str]:
         """All registered addresses (sorted, for deterministic iteration)."""
         return sorted(self._endpoints)
+
+    def hosts(self) -> list[str]:
+        """All hosts with at least one endpoint (sorted)."""
+        return sorted({endpoint.host for endpoint in self._endpoints.values()})
 
     def add_observer(self, observer: Callable[[Message, str], None]) -> None:
         """Register a callback ``observer(msg, outcome)`` for every send.
@@ -298,6 +325,37 @@ class Network:
     def restore_link(self, host_a: str, host_b: str) -> None:
         """Undo :meth:`cut_link` for the pair."""
         self._cut_links.discard(frozenset((host_a, host_b)))
+
+    def restore_all_links(self) -> None:
+        """Undo every :meth:`cut_link` (the chaos engine's heal step)."""
+        self._cut_links.clear()
+
+    def set_link_flakiness(
+        self, host_a: str, host_b: str, loss: float = 0.0, duplicate: float = 0.0
+    ) -> None:
+        """Make the ``host_a``–``host_b`` link unreliable (both directions).
+
+        ``loss`` replaces the network-wide ``loss_rate`` for messages
+        crossing the link; ``duplicate`` is the probability that a message
+        surviving loss is delivered *twice* (the second copy draws its own
+        latency, so duplicates can arrive out of order).  Same-host traffic
+        never crosses a link and is unaffected.
+        """
+        if not 0.0 <= loss < 1.0:
+            raise NetworkError(f"link loss must be in [0, 1), got {loss}")
+        if not 0.0 <= duplicate < 1.0:
+            raise NetworkError(f"link duplicate must be in [0, 1), got {duplicate}")
+        if host_a == host_b:
+            raise NetworkError("a flaky link needs two distinct hosts")
+        self._flaky_links[frozenset((host_a, host_b))] = (loss, duplicate)
+
+    def clear_link_flakiness(self, host_a: str, host_b: str) -> None:
+        """Undo :meth:`set_link_flakiness` for the pair."""
+        self._flaky_links.pop(frozenset((host_a, host_b)), None)
+
+    def clear_flaky_links(self) -> None:
+        """Undo every :meth:`set_link_flakiness`."""
+        self._flaky_links.clear()
 
     def _hosts_connected(self, src_host: str, dst_host: str) -> bool:
         if frozenset((src_host, dst_host)) in self._cut_links and src_host != dst_host:
@@ -334,7 +392,15 @@ class Network:
         ):
             self._account_drop(msg, reason="partitioned")
             return
-        if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
+        loss_rate = self.loss_rate
+        duplication_rate = self.duplication_rate
+        if self._flaky_links and src_host != dst.host:
+            flaky = self._flaky_links.get(frozenset((src_host, dst.host)))
+            if flaky is not None:
+                loss_rate, duplication_rate = flaky
+        if loss_rate > 0 and self.rng.random() < loss_rate:
+            stats.lost_random += 1
+            stats.lost_by_type[msg.mtype] += 1
             self._account_drop(msg, reason="random loss")
             return
 
@@ -348,6 +414,15 @@ class Network:
             stats.queueing_delay_total += queue_wait
             delay += queue_wait
         sim.defer(delay, dst._deliver, msg)
+        if duplication_rate > 0 and self.rng.random() < duplication_rate:
+            # The duplicate draws its own latency (it may overtake the
+            # original) and bypasses receiver queueing — it is a transport
+            # artifact, not a second send, so ``sent`` stays unchanged
+            # while ``delivered`` may exceed it.
+            stats.duplicated += 1
+            stats.duplicated_by_type[msg.mtype] += 1
+            extra_delay = self.latency.delay(src_host, dst.host, msg.size, self.rng)
+            sim.defer(extra_delay, dst._deliver, msg)
         if self._observers:
             self._notify(msg, "delivered")
 

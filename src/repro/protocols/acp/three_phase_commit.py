@@ -43,5 +43,6 @@ class ThreePhaseCommit(CommitProtocol):
             raise CommitAbort(f"vote phase failed: {detail}")
         yield from ctx.broadcast(MessageType.PRECOMMIT)
         ctx.log_decision("COMMIT")
-        yield from ctx.broadcast(MessageType.COMMIT)
+        acked = yield from ctx.broadcast(MessageType.COMMIT)
+        ctx.log_end_if_complete(acked)
         return "COMMIT"

@@ -39,5 +39,6 @@ class TwoPhaseCommit(CommitProtocol):
             yield from ctx.broadcast(MessageType.ABORT)
             raise CommitAbort(f"vote phase failed: {detail}")
         ctx.log_decision("COMMIT")
-        yield from ctx.broadcast(MessageType.COMMIT)
+        acked = yield from ctx.broadcast(MessageType.COMMIT)
+        ctx.log_end_if_complete(acked)
         return "COMMIT"

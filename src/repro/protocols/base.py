@@ -19,6 +19,7 @@ with minimum system-wide modifications."  Concretely:
 
 from __future__ import annotations
 
+import inspect
 from typing import Any, Callable, Generator
 
 from repro.errors import ProtocolError
@@ -33,6 +34,7 @@ __all__ = [
     "ccp_registry",
     "rcp_registry",
     "acp_registry",
+    "ccp_accepts",
     "make_ccp",
     "make_rcp",
     "make_acp",
@@ -171,6 +173,23 @@ def rcp_registry() -> list[str]:
 def acp_registry() -> list[str]:
     """Names of the registered ACPs."""
     return sorted(_ACP_REGISTRY)
+
+
+def ccp_accepts(name: str, option: str) -> bool:
+    """Whether the CCP registered under ``name`` takes keyword ``option``.
+
+    Profiles that supply generic defaults (e.g. the failure experiments'
+    ``wait_timeout``) use this to avoid handing a non-waiting controller an
+    option it has no constructor parameter for.
+    """
+    try:
+        factory = _CCP_REGISTRY[name.upper()]
+    except KeyError:
+        return False
+    parameters = inspect.signature(factory).parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()):
+        return True
+    return option in parameters
 
 
 def make_ccp(name: str, *args, **kwargs) -> ConcurrencyController:

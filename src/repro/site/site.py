@@ -428,7 +428,15 @@ class Site:
         state = self._prepared.pop(txn, None)
         if state is None and self.wal.decision_for(txn) == "COMMIT":
             return  # duplicate decision (retry); already applied
-        self.wal.log_commit(txn, self.sim.now)
+        if state is not None:
+            # Tag the record as a participant's copy of the decision so
+            # checkpointing knows how long it must survive (see
+            # WriteAheadLog.checkpoint).
+            self.wal.log_commit(
+                txn, self.sim.now, coordinator=state.coordinator, acp=state.acp
+            )
+        else:
+            self.wal.log_commit(txn, self.sim.now)
         versions = state.versions if state is not None else {}
         self.cc.commit(txn, versions)
         self._activity.pop(txn, None)

@@ -30,7 +30,7 @@ class LogRecord:
 
     lsn: int
     txn_id: int
-    kind: str  # "PREPARE" | "PRECOMMIT" | "COMMIT" | "ABORT"
+    kind: str  # "PREPARE" | "PRECOMMIT" | "COMMIT" | "ABORT" | "END" | "CHECKPOINT"
     at: float
     writes: dict[str, tuple[Any, int]] = field(default_factory=dict)
     coordinator: Optional[str] = None  # address to ask for the decision
@@ -87,25 +87,56 @@ class WriteAheadLog:
         """Force a PRECOMMIT record (3PC only)."""
         return self._append("PRECOMMIT", txn_id, at)
 
-    def log_commit(self, txn_id: int, at: float) -> LogRecord:
-        """Force a COMMIT decision record."""
-        return self._append("COMMIT", txn_id, at)
+    def log_commit(
+        self,
+        txn_id: int,
+        at: float,
+        *,
+        coordinator: Optional[str] = None,
+        acp: str = "2PC",
+    ) -> LogRecord:
+        """Force a COMMIT decision record.
+
+        ``coordinator`` distinguishes the record's role: ``None`` marks the
+        coordinator's own decision record, an address marks a participant's
+        copy of the decision.  Checkpointing uses the role (and ``acp``) to
+        decide how long the record must outlive the decision — see
+        :meth:`checkpoint`.
+        """
+        return self._append("COMMIT", txn_id, at, coordinator=coordinator, acp=acp)
 
     def log_abort(self, txn_id: int, at: float) -> LogRecord:
         """Force an ABORT decision record."""
         return self._append("ABORT", txn_id, at)
 
+    def log_end(self, txn_id: int, at: float) -> LogRecord:
+        """Mark a decided transaction fully acknowledged (presumed-abort END).
+
+        Once the coordinator has collected every participant's decision
+        acknowledgement, nobody can ever ask about the transaction again,
+        so its COMMIT record no longer needs to survive checkpoints.
+        """
+        return self._append("END", txn_id, at)
+
     # -- checkpointing --------------------------------------------------------
     def checkpoint(self, store_snapshot: dict[str, tuple[Any, int]], at: float) -> int:
         """Take a fuzzy checkpoint and truncate the log.
 
-        The committed store state is recorded in a CHECKPOINT record, the
+        The committed store state is recorded in a CHECKPOINT record and the
         PREPARE/PRECOMMIT records of still-undecided transactions are
-        carried over (they are the only history recovery still needs), and
-        everything older is dropped.  Returns the number of records
-        truncated — the classroom-visible benefit of checkpointing.
+        carried over.  COMMIT decision records are *retained* until it is
+        provably safe to forget them: presumed abort means a missing record
+        answers ABORT, so dropping a COMMIT that an in-doubt participant
+        may still ask about would abort a committed transaction.  A
+        coordinator's COMMIT record (no ``coordinator`` address) is kept
+        until an END record marks the decision round fully acknowledged; a
+        participant's copy is kept only under 3PC, where the termination
+        protocol queries peers.  ABORT records always drop — presumed abort
+        re-derives them.  Returns the number of records truncated — the
+        classroom-visible benefit of checkpointing.
         """
         in_doubt, _committed = self.recover_state()
+        retained = self._retained_decisions()
         old_length = len(self.records)
         kept: list[LogRecord] = []
         checkpoint_record = LogRecord(
@@ -140,8 +171,36 @@ class WriteAheadLog:
                     )
                 )
                 self._next_lsn += 1
+        for record in retained:
+            kept.append(
+                LogRecord(
+                    lsn=self._next_lsn,
+                    txn_id=record.txn_id,
+                    kind="COMMIT",
+                    at=record.at,
+                    coordinator=record.coordinator,
+                    acp=record.acp,
+                )
+            )
+            self._next_lsn += 1
         self.records = kept
-        return old_length - len(in_doubt)
+        # The CHECKPOINT record itself is new, not carried over: the number
+        # of old records dropped is old_length minus the carried-over
+        # PREPARE/PRECOMMIT/COMMIT records (len(kept) - 1).
+        return old_length - (len(kept) - 1)
+
+    def _retained_decisions(self) -> list[LogRecord]:
+        """COMMIT records a checkpoint must carry over, in LSN order."""
+        ended = {
+            record.txn_id for record in self.records if record.kind == "END"
+        }
+        retained: dict[int, LogRecord] = {}
+        for record in self.records:
+            if record.kind != "COMMIT" or record.txn_id in ended:
+                continue
+            if record.coordinator is None or record.acp == "3PC":
+                retained.setdefault(record.txn_id, record)
+        return sorted(retained.values(), key=lambda record: record.lsn)
 
     def last_checkpoint(self) -> Optional[LogRecord]:
         """The most recent CHECKPOINT record, if any."""

@@ -411,6 +411,18 @@ class TxnContext:
             self.home.wal.log_abort(self.txn.txn_id, self.sim.now)
         self.txn.decided_at = self.sim.now
 
+    def log_end_if_complete(self, acked: int) -> None:
+        """Force END once every participant acknowledged the decision.
+
+        With the full ack round collected, no participant can ever be in
+        doubt about this transaction again, so the coordinator's COMMIT
+        record may be dropped by future checkpoints (presumed abort's END
+        record).  An incomplete round leaves the record pinned until the
+        silent participants resolve through DECISION_REQ.
+        """
+        if acked == len(self.participants):
+            self.home.wal.log_end(self.txn.txn_id, self.sim.now)
+
 
 def run_transaction(ctx: TxnContext):
     """Process one transaction end to end (RCP loop, then ACP).

@@ -16,11 +16,40 @@ class TestWalCheckpoint:
         for txn in range(1, 6):
             wal.log_prepare(txn, {"x": (txn, txn)}, None, at=0.0)
             wal.log_commit(txn, at=1.0)
-        assert len(wal) == 10
+            wal.log_end(txn, at=1.5)  # decision round fully acknowledged
+        assert len(wal) == 15
         truncated = wal.checkpoint({"x": (5, 5)}, at=2.0)
-        assert truncated == 10
+        assert truncated == 15
         assert len(wal) == 1  # just the CHECKPOINT record
         assert wal.last_checkpoint().writes == {"x": (5, 5)}
+
+    def test_checkpoint_retains_unacknowledged_commits(self):
+        """A coordinator COMMIT without END must survive checkpoints:
+        presumed abort would otherwise abort a committed transaction when
+        an in-doubt participant finally asks for the decision."""
+        wal = WriteAheadLog("s")
+        wal.log_prepare(1, {"x": (1, 1)}, None, at=0.0)
+        wal.log_commit(1, at=1.0)  # no END: some participant never acked
+        truncated = wal.checkpoint({"x": (1, 1)}, at=2.0)
+        assert truncated == 1  # only the PREPARE goes; the COMMIT is retained
+        assert wal.decision_for(1) == "COMMIT"
+        # Once the round completes, the next checkpoint may forget it.
+        wal.log_end(1, at=3.0)
+        wal.checkpoint({"x": (1, 1)}, at=4.0)
+        assert wal.decision_for(1) is None
+
+    def test_checkpoint_retains_participant_commits_under_3pc(self):
+        """3PC peers answer termination queries from their decision record,
+        so a participant's COMMIT copy survives; under 2PC nobody ever asks
+        a participant, so its copy is dropped."""
+        wal = WriteAheadLog("s")
+        wal.log_prepare(1, {"x": (1, 1)}, "coord/a", at=0.0, acp="3PC")
+        wal.log_commit(1, at=1.0, coordinator="coord/a", acp="3PC")
+        wal.log_prepare(2, {"y": (2, 2)}, "coord/a", at=0.0)
+        wal.log_commit(2, at=1.0, coordinator="coord/a", acp="2PC")
+        wal.checkpoint({"x": (1, 1), "y": (2, 2)}, at=2.0)
+        assert wal.decision_for(1) == "COMMIT"
+        assert wal.decision_for(2) is None
 
     def test_checkpoint_keeps_in_doubt(self):
         wal = WriteAheadLog("s")
@@ -29,21 +58,16 @@ class TestWalCheckpoint:
         wal.log_precommit(1, at=0.5)
         wal.log_prepare(2, {"y": (2, 2)}, None, at=0.0)
         wal.log_commit(2, at=1.0)
-        wal.checkpoint({"x": (0, 0)}, at=2.0)
+        truncated = wal.checkpoint({"x": (0, 0)}, at=2.0)
+        # Of 4 records only txn 2's PREPARE goes: txn 1 is in doubt (both
+        # records carried over) and txn 2's COMMIT has no END yet.
+        assert truncated == 1
         in_doubt, committed = wal.recover_state()
         assert [d.txn_id for d in in_doubt] == [1]
         assert in_doubt[0].precommitted
         assert in_doubt[0].acp == "3PC"
         assert in_doubt[0].peers == ["p"]
         assert committed == []  # decided history gone: the snapshot has it
-
-    def test_decision_for_survives_only_until_checkpoint(self):
-        wal = WriteAheadLog("s")
-        wal.log_prepare(1, {}, None, at=0.0)
-        wal.log_commit(1, at=1.0)
-        assert wal.decision_for(1) == "COMMIT"
-        wal.checkpoint({}, at=2.0)
-        assert wal.decision_for(1) is None  # presumed abort applies again
 
     def test_site_periodic_checkpointing(self):
         instance = quick_instance(n_items=8, settle_time=60,

@@ -69,6 +69,16 @@ class TestCommands:
         assert "Protocols Configuration" in out
         assert "Database Replication Configuration" in out
 
+    def test_chaos_small_suite(self, capsys):
+        assert main(["chaos", "--seeds", "3", "--transactions", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "Chaos suite" in out
+        assert "3/3 seeds green" in out
+
+    def test_chaos_broken_protocol_fails(self, capsys):
+        assert main(["chaos", "--seeds", "1", "--ccp", "NOCC", "--no-shrink"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
     def test_experiment_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "qcmsg", "avail", "ccp", "scale", "acp", "lb", "abl", "matrix",

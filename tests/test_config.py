@@ -148,6 +148,8 @@ class TestPersistence:
                 recoveries=[("site1", 20.0)],
                 partitions=[(5.0, [["host1"], ["host2"]])],
                 heals=[30.0],
+                link_cuts=[("host1", "host2", 12.0, 18.0)],
+                flaky_links=[("host1", "host2", 40.0, 60.0, 0.2, 0.1)],
             ),
             random_targets=["site2"],
             mttf=100.0,
@@ -161,6 +163,10 @@ class TestPersistence:
         assert clone.seed == 5
         assert clone.faults.schedule.crashes == [("site1", 10.0)]
         assert clone.faults.schedule.partitions == [(5.0, [["host1"], ["host2"]])]
+        assert clone.faults.schedule.link_cuts == [("host1", "host2", 12.0, 18.0)]
+        assert clone.faults.schedule.flaky_links == [
+            ("host1", "host2", 40.0, 60.0, 0.2, 0.1)
+        ]
         assert clone.faults.mttf == 100.0
         assert clone.catalog().item_names() == config.catalog().item_names()
 

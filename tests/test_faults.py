@@ -116,6 +116,100 @@ class TestScheduledFaults:
         sim.run()
         assert target.transitions == ["crash", "recover"]
 
+    def test_flaky_link_window(self, sim, network, injector):
+        a = network.endpoint("h1", "a")
+        network.endpoint("h2", "b")
+        injector.schedule_flaky_link("h1", "h2", start=5, end=15, loss=0.5)
+        sim.run(until=6)
+        assert frozenset(("h1", "h2")) in network._flaky_links
+        sim.run(until=16)
+        assert network._flaky_links == {}
+        kinds = [e.kind for e in injector.log]
+        assert kinds == ["flaky_link", "flaky_clear"]
+        assert a.up  # nothing crashed
+
+    def test_flaky_window_must_be_positive(self, injector):
+        with pytest.raises(ConfigurationError):
+            injector.schedule_flaky_link("h1", "h2", start=10, end=10)
+
+    def test_apply_schedule_installs_flaky_links(self, sim, network, injector):
+        network.endpoint("h1", "a")
+        network.endpoint("h2", "b")
+        schedule = FaultSchedule(flaky_links=[("h1", "h2", 2.0, 8.0, 0.3, 0.1)])
+        injector.apply_schedule(schedule)
+        sim.run(until=3)
+        assert network._flaky_links[frozenset(("h1", "h2"))] == (0.3, 0.1)
+        sim.run()
+        assert network._flaky_links == {}
+
+
+class TestScheduleValidation:
+    def test_unknown_crash_target(self, injector):
+        with pytest.raises(ConfigurationError, match="unknown target 'ghost'"):
+            injector.apply_schedule(FaultSchedule(crashes=[("ghost", 5)]))
+
+    def test_recovery_not_after_crash(self, injector):
+        injector.register(FakeTarget("s1"))
+        with pytest.raises(ConfigurationError, match="not after its crash"):
+            injector.apply_schedule(
+                FaultSchedule(crashes=[("s1", 10)], recoveries=[("s1", 10)])
+            )
+
+    def test_more_recoveries_than_crashes(self, injector):
+        injector.register(FakeTarget("s1"))
+        with pytest.raises(ConfigurationError, match="recoveries for"):
+            injector.apply_schedule(
+                FaultSchedule(crashes=[("s1", 5)], recoveries=[("s1", 8), ("s1", 12)])
+            )
+
+    def test_paired_crash_recover_cycles_validate(self, sim, injector):
+        injector.register(FakeTarget("s1"))
+        injector.apply_schedule(
+            FaultSchedule(
+                crashes=[("s1", 5), ("s1", 20)], recoveries=[("s1", 10), ("s1", 25)]
+            )
+        )
+
+    def test_partition_unknown_host(self, network, injector):
+        network.endpoint("h1", "a")
+        with pytest.raises(ConfigurationError, match="unknown host 'mars'"):
+            injector.apply_schedule(
+                FaultSchedule(partitions=[(5.0, [["h1"], ["mars"]])])
+            )
+
+    def test_partition_host_in_two_groups(self, network, injector):
+        network.endpoint("h1", "a")
+        network.endpoint("h2", "b")
+        with pytest.raises(ConfigurationError, match="in two groups"):
+            injector.apply_schedule(
+                FaultSchedule(partitions=[(5.0, [["h1"], ["h1", "h2"]])])
+            )
+
+    def test_link_cut_unknown_host(self, network, injector):
+        network.endpoint("h1", "a")
+        with pytest.raises(ConfigurationError, match="unknown host 'mars'"):
+            injector.apply_schedule(
+                FaultSchedule(link_cuts=[("h1", "mars", 2.0, None)])
+            )
+
+    def test_flaky_link_bad_rate(self, network, injector):
+        network.endpoint("h1", "a")
+        network.endpoint("h2", "b")
+        with pytest.raises(ConfigurationError, match="must be in"):
+            injector.apply_schedule(
+                FaultSchedule(flaky_links=[("h1", "h2", 2.0, 8.0, 1.5, 0.0)])
+            )
+
+    def test_invalid_schedule_installs_nothing(self, sim, injector):
+        target = FakeTarget("s1")
+        injector.register(target)
+        with pytest.raises(ConfigurationError):
+            injector.apply_schedule(
+                FaultSchedule(crashes=[("s1", 5)], recoveries=[("ghost", 8)])
+            )
+        sim.run()
+        assert target.transitions == []  # validation happens before install
+
 
 class TestRandomFaults:
     def test_crash_recover_cycles(self, sim, injector):

@@ -323,6 +323,36 @@ class TestLossAndStats:
         with pytest.raises(NetworkError):
             Network(sim, loss_rate=1.0)
 
+    def test_random_loss_counted_separately(self):
+        sim = Simulator()
+        network = Network(sim, ConstantLatency(0.1), rng=random.Random(7), loss_rate=0.5)
+        a = network.endpoint("h1", "a")
+        b = network.endpoint("h2", "b")
+        for _ in range(100):
+            a.send(b.address, "PING")
+        sim.run()
+        assert network.stats.lost_random == network.stats.dropped
+        assert network.stats.lost_by_type["PING"] == network.stats.lost_random
+
+    def test_duplication_delivers_extra_copies(self):
+        sim = Simulator()
+        network = Network(
+            sim, ConstantLatency(0.1), rng=random.Random(7), duplication_rate=0.5
+        )
+        a = network.endpoint("h1", "a")
+        b = network.endpoint("h2", "b")
+        for _ in range(100):
+            a.send(b.address, "PING")
+        sim.run()
+        assert network.stats.sent == 100
+        assert 10 < network.stats.duplicated < 90
+        assert b.pending_count() == 100 + network.stats.duplicated
+        assert network.stats.delivered == 100 + network.stats.duplicated
+
+    def test_invalid_duplication_rate(self, sim):
+        with pytest.raises(NetworkError):
+            Network(sim, duplication_rate=1.0)
+
     def test_by_type_counter(self, sim, network):
         a = network.endpoint("h1", "a")
         b = network.endpoint("h2", "b")
@@ -355,3 +385,68 @@ class TestLossAndStats:
         snap = network.stats.snapshot()
         assert snap["sent"] == 1
         assert isinstance(snap["by_type"], dict)
+        assert snap["lost_random"] == 0
+        assert snap["duplicated"] == 0
+
+
+class TestFlakyLinks:
+    def test_flaky_link_overrides_loss_for_one_pair(self):
+        sim = Simulator()
+        network = Network(sim, ConstantLatency(0.1), rng=random.Random(7))
+        a = network.endpoint("h1", "a")
+        b = network.endpoint("h2", "b")
+        c = network.endpoint("h3", "c")
+        network.set_link_flakiness("h1", "h2", loss=0.99)
+        for _ in range(100):
+            a.send(b.address, "PING")
+            a.send(c.address, "PING")
+        sim.run()
+        assert network.stats.lost_random > 80  # h1-h2 very lossy
+        assert c.pending_count() == 100  # h1-h3 untouched
+
+    def test_flaky_link_duplicates(self):
+        sim = Simulator()
+        network = Network(sim, ConstantLatency(0.1), rng=random.Random(7))
+        a = network.endpoint("h1", "a")
+        b = network.endpoint("h2", "b")
+        network.set_link_flakiness("h1", "h2", duplicate=0.5)
+        for _ in range(100):
+            a.send(b.address, "PING")
+        sim.run()
+        assert 10 < network.stats.duplicated < 90
+        assert b.pending_count() == 100 + network.stats.duplicated
+
+    def test_clear_link_flakiness(self, sim, network):
+        a = network.endpoint("h1", "a")
+        b = network.endpoint("h2", "b")
+        network.set_link_flakiness("h1", "h2", loss=0.99)
+        network.clear_link_flakiness("h1", "h2")
+        a.send(b.address, "PING")
+        sim.run()
+        assert b.pending_count() == 1
+
+    def test_clear_flaky_links_heals_all(self, sim, network):
+        network.endpoint("h1", "a")
+        network.endpoint("h2", "b")
+        network.set_link_flakiness("h1", "h2", loss=0.5)
+        network.clear_flaky_links()
+        assert network._flaky_links == {}
+
+    def test_same_host_traffic_unaffected(self):
+        sim = Simulator()
+        network = Network(sim, ConstantLatency(0.1), rng=random.Random(7))
+        a = network.endpoint("h1", "a")
+        a2 = network.endpoint("h1", "a2")
+        with pytest.raises(NetworkError):
+            network.set_link_flakiness("h1", "h1", loss=0.5)
+        network.set_link_flakiness("h1", "h2", loss=0.99)
+        for _ in range(50):
+            a.send(a2.address, "PING")
+        sim.run()
+        assert a2.pending_count() == 50
+
+    def test_invalid_rates_rejected(self, sim, network):
+        with pytest.raises(NetworkError):
+            network.set_link_flakiness("h1", "h2", loss=1.0)
+        with pytest.raises(NetworkError):
+            network.set_link_flakiness("h1", "h2", duplicate=-0.1)

@@ -248,6 +248,59 @@ class TestFailpoints:
         # Presumed abort: nothing was written anywhere.
         assert all(v[0] == 0 for v in copies_of(instance, "x1").values())
 
+    def test_2pc_double_failure_participant_and_coordinator(self):
+        """Coordinator down after votes AND an in-doubt participant crashes:
+        both recover, and presumed abort resolves the orphan consistently."""
+        instance = quick_instance(n_items=8, uncertainty_timeout=20.0,
+                                  decision_retry=10.0, settle_time=0)
+        instance.coordinator_config.failpoint = "after_votes"
+        instance.coordinator_config.failpoint_arms = 1
+        instance.start()
+        txn = Transaction(
+            ops=[Operation.write("x1", 1), Operation.write("x2", 2)],
+            home_site="site1",
+        )
+        process = instance.submit(txn)
+        instance.sim.run(until=process)
+        assert txn.abort_cause == "SYSTEM"
+        victims = [name for name, site in instance.sites.items()
+                   if name != "site1" and site.in_doubt_count()]
+        assert victims  # at least one participant was left in doubt
+        instance.injector.crash_now(victims[0])
+        instance.sim.run(until=instance.sim.now + 30)
+        instance.injector.recover_now(victims[0])
+        instance.injector.recover_now("site1")
+        instance.sim.run(until=instance.sim.now + 200)
+        assert sum(site.in_doubt_count() for site in instance.sites.values()) == 0
+        assert all(v[0] == 0 for v in copies_of(instance, "x1").values())
+        assert all(v[0] == 0 for v in copies_of(instance, "x2").values())
+
+    def test_3pc_double_failure_precommitted_participant(self):
+        """Coordinator down after PRECOMMIT AND a precommitted participant
+        crashes: the survivors commit via termination, and the recovered
+        participant learns COMMIT from its peers' retained decisions."""
+        instance = quick_instance(acp="3PC", n_items=8, uncertainty_timeout=20.0,
+                                  decision_retry=10.0, settle_time=0)
+        instance.coordinator_config.failpoint = "after_precommit"
+        instance.coordinator_config.failpoint_arms = 1
+        instance.start()
+        txn = Transaction(ops=[Operation.write("x1", 1)], home_site="site1")
+        process = instance.submit(txn)
+        instance.sim.run(until=process)
+        victims = [name for name, site in instance.sites.items()
+                   if name != "site1" and site.in_doubt_count()]
+        assert victims
+        instance.injector.crash_now(victims[0])
+        instance.sim.run(until=instance.sim.now + 100)
+        instance.injector.recover_now(victims[0])
+        instance.injector.recover_now("site1")
+        instance.sim.run(until=instance.sim.now + 200)
+        assert sum(site.in_doubt_count() for site in instance.sites.values()) == 0
+        values = copies_of(instance, "x1")
+        committed = [v for v in values.values() if v == (1, 1)]
+        assert len(committed) >= 2  # the write quorum committed...
+        assert values[victims[0]] == (1, 1)  # ...including the crashed one
+
     def test_3pc_terminates_without_coordinator(self):
         instance = quick_instance(acp="3PC", n_items=8, uncertainty_timeout=20.0,
                                   decision_retry=10.0, settle_time=0)
