@@ -3,7 +3,7 @@
 #   make test        tier-1 test suite (the CI gate)
 #   make lint        rainbow-lint over src/, benchmarks/, examples/
 #   make lint-all    rainbow-lint + ruff + mypy (skips tools not installed)
-#   make bench       kernel microbenchmark smoke run
+#   make bench       kernel microbenchmark smoke run + BENCH_*.json artifacts
 #   make chaos       chaos suite: 25 nemesis seeds, all safety invariants
 #   make rules       print the rainbow-lint rule catalog
 
@@ -33,6 +33,7 @@ lint-all: lint
 
 bench:
 	$(PYPATH) $(PY) -m pytest benchmarks/test_bench_kernel.py --benchmark-only -q -s
+	$(PYPATH) $(PY) -m repro bench
 
 chaos:
 	$(PYPATH) $(PY) -m repro chaos --seeds 25 -j 0

@@ -1,0 +1,66 @@
+"""EXP-MSGECON: message economy across the optimization lattice.
+
+Expected shape assertions:
+* batching and the piggybacked prepare each cut transaction-processing
+  messages below the unoptimized baseline; stacked they cut ≥25% under QC;
+* the piggybacked prepare removes at least one commit round trip per
+  remote-participant transaction (visible as fewer VOTE_REQs per txn);
+* latency-aware routing never costs messages, and under LAN/WAN latency it
+  lowers the mean response time.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import message_economy
+
+
+def test_message_economy_table(benchmark):
+    table = run_once(benchmark, message_economy.run)
+    emit(table.title, table.to_text())
+
+    def row(rcp, latency, flags):
+        for candidate in table.rows:
+            if (candidate["rcp"], candidate["latency"], candidate["flags"]) == (
+                rcp, latency, flags,
+            ):
+                return candidate
+        raise AssertionError(f"missing row {(rcp, latency, flags)}")
+
+    for rcp in ("QC", "ROWAA"):
+        for latency in ("uniform", "lanwan"):
+            none = row(rcp, latency, "none")
+            batch = row(rcp, latency, "batch")
+            piggyback = row(rcp, latency, "piggyback")
+            routing = row(rcp, latency, "routing")
+            combined = row(rcp, latency, "all")
+
+            # Each message-saving optimization cuts traffic on its own.
+            assert batch["msgs_per_txn"] < none["msgs_per_txn"]
+            assert piggyback["msgs_per_txn"] < none["msgs_per_txn"]
+            assert batch["batched_per_txn"] > 0
+            assert piggyback["saved_per_txn"] > 0
+
+            # The piggybacked prepare replaces explicit VOTE_REQ rounds.
+            assert piggyback["vote_reqs_per_txn"] < none["vote_reqs_per_txn"]
+
+            # Routing re-orders but never adds traffic (within one wave of
+            # noise from divergent abort/retry behavior).
+            assert routing["msgs_per_txn"] <= none["msgs_per_txn"] * 1.05
+
+            # Stacked, the savings compose.
+            assert combined["msgs_per_txn"] < batch["msgs_per_txn"]
+            assert combined["msgs_per_txn"] < piggyback["msgs_per_txn"]
+
+    # The acceptance bar: ≥25% fewer messages/txn under QC+2PC, and more
+    # than one commit round trip saved per transaction on average.
+    for latency in ("uniform", "lanwan"):
+        none = row("QC", latency, "none")
+        combined = row("QC", latency, "all")
+        assert combined["msgs_per_txn"] < 0.75 * none["msgs_per_txn"]
+        assert none["round_trips_per_txn"] - combined["round_trips_per_txn"] > 1.0
+
+    # Under LAN/WAN latency, routing prefers co-located replicas and the
+    # mean response time drops.
+    assert (
+        row("QC", "lanwan", "routing")["response_time"]
+        < row("QC", "lanwan", "none")["response_time"]
+    )

@@ -88,6 +88,10 @@ def run_chaos_case(
     acp: str = "2PC",
     n_transactions: int = 40,
     intensity: float = 1.0,
+    sites_per_host: int = 1,
+    batch_site_ops: bool = False,
+    piggyback_prepare: bool = False,
+    latency_aware_routing: bool = False,
     chunks: Optional[tuple[FaultChunk, ...]] = None,
 ) -> ChaosCaseReport:
     """Run one seeded chaos session and check every safety invariant.
@@ -116,6 +120,10 @@ def run_chaos_case(
         seed=seed,
         failure_profile=True,
         settle_time=120.0,
+        sites_per_host=sites_per_host,
+        batch_site_ops=batch_site_ops,
+        piggyback_prepare=piggyback_prepare,
+        latency_aware_routing=latency_aware_routing,
         checkpoint_interval=50.0,
     )
     if chunks is None:

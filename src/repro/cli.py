@@ -4,7 +4,8 @@ Commands:
 
 * ``quickstart`` — run the default session and print the Figure-5 panel.
 * ``experiment <id>`` — regenerate one experiment table (EXPERIMENTS.md
-  ids: qcmsg, avail, ccp, scale, acp, lb, abl, matrix) and print it;
+  ids: qcmsg, avail, ccp, scale, acp, lb, abl, matrix, msgecon) and print
+  it;
   ``--csv FILE`` additionally exports it, ``--json`` prints JSON instead of
   text, and ``-j N`` fans the sweep's independent sessions out across N
   worker processes (byte-identical output for every N).
@@ -37,6 +38,7 @@ from repro.experiments import (
     availability,
     ccp_contention,
     load_balance,
+    message_economy,
     protocol_matrix,
     quorum_traffic,
     scalability,
@@ -52,11 +54,18 @@ EXPERIMENTS: dict[str, Callable] = {
     "lb": load_balance.run,
     "abl": ablation.run,
     "matrix": protocol_matrix.run,
+    "msgecon": message_economy.run,
 }
 
 
 def _cmd_quickstart(args: argparse.Namespace) -> int:
-    result, panel, instance = session.run(n_txns=args.transactions)
+    result, panel, instance = session.run(
+        n_txns=args.transactions,
+        sites_per_host=args.sites_per_host,
+        batch_site_ops=args.batch_site_ops,
+        piggyback_prepare=args.piggyback_prepare,
+        latency_aware_routing=args.latency_aware_routing,
+    )
     print(panel)
     print(f"\nserializable: {result.serializable}")
     if args.chart:
@@ -205,9 +214,21 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         ccp=args.ccp,
         acp=args.acp,
         intensity=args.intensity,
+        sites_per_host=args.sites_per_host,
+        batch_site_ops=args.batch_site_ops,
+        piggyback_prepare=args.piggyback_prepare,
+        latency_aware_routing=args.latency_aware_routing,
     )
     print(render_suite_report(result))
     return 0 if result.ok else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.monitor.bench import write_bench_files
+
+    for path in write_bench_files(args.out_dir):
+        print(f"wrote {path}")
+    return 0
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -233,6 +254,14 @@ def build_parser() -> argparse.ArgumentParser:
     quickstart.add_argument("--transactions", type=int, default=200)
     quickstart.add_argument("--chart", action="store_true",
                             help="also print the commit time-series chart")
+    quickstart.add_argument("--sites-per-host", type=int, default=1, metavar="N",
+                            help="co-locate N sites per host (default: 1)")
+    quickstart.add_argument("--batch-site-ops", action="store_true",
+                            help="enable per-host operation batching (docs/PERF.md)")
+    quickstart.add_argument("--piggyback-prepare", action="store_true",
+                            help="fold the 2PC VOTE_REQ into the final access")
+    quickstart.add_argument("--latency-aware-routing", action="store_true",
+                            help="rank copy holders by expected network delay")
     quickstart.set_defaults(fn=_cmd_quickstart)
 
     experiment = commands.add_parser("experiment", help="regenerate one experiment")
@@ -283,9 +312,25 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--acp", default="2PC", help="commit protocol (default: 2PC)")
     chaos.add_argument("--intensity", type=float, default=1.0,
                        help="fault episodes per site (default: 1.0)")
+    chaos.add_argument("--sites-per-host", type=int, default=1, metavar="N",
+                       help="co-locate N sites per host (default: 1)")
+    chaos.add_argument("--batch-site-ops", action="store_true",
+                       help="enable per-host operation batching (docs/PERF.md)")
+    chaos.add_argument("--piggyback-prepare", action="store_true",
+                       help="fold the 2PC VOTE_REQ into the final access")
+    chaos.add_argument("--latency-aware-routing", action="store_true",
+                       help="rank copy holders by expected network delay")
     chaos.add_argument("--no-shrink", action="store_true",
                        help="skip delta-debugging the failing seeds")
     chaos.set_defaults(fn=_cmd_chaos)
+
+    bench = commands.add_parser(
+        "bench",
+        help="write BENCH_kernel.json / BENCH_session.json performance baselines",
+    )
+    bench.add_argument("--out-dir", default=".", metavar="DIR",
+                       help="directory for the JSON artifacts (default: .)")
+    bench.set_defaults(fn=_cmd_bench)
 
     listing = commands.add_parser("list", help="list experiments and assignments")
     listing.set_defaults(fn=_cmd_list)

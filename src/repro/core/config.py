@@ -80,6 +80,11 @@ class ProtocolConfig:
     vote_timeout: float = 40.0
     ack_timeout: float = 25.0
     ack_retries: int = 3
+    # Message-economy optimizations (docs/PERF.md).  All default off, so
+    # existing configurations replay byte-identically.
+    batch_site_ops: bool = False  # coalesce same-host copy accesses
+    piggyback_prepare: bool = False  # fold VOTE_REQ into the final access
+    latency_aware_routing: bool = False  # rank copy holders by expected delay
 
     def validate(self) -> None:
         from repro.protocols.base import acp_registry, ccp_registry, rcp_registry

@@ -92,6 +92,9 @@ class RainbowInstance:
             vote_timeout=protocols.vote_timeout,
             ack_timeout=protocols.ack_timeout,
             ack_retries=protocols.ack_retries,
+            batch_site_ops=protocols.batch_site_ops,
+            piggyback_prepare=protocols.piggyback_prepare,
+            latency_aware_routing=protocols.latency_aware_routing,
         )
 
         self.sites: dict[str, Site] = {}
@@ -119,6 +122,17 @@ class RainbowInstance:
             self.nameserver.register_site(site.name, site.address, site.host)
             self.injector.register(site)
             self.sites[site.name] = site
+
+        # Same-host siblings share a Sitelet (paper §2): wire the in-process
+        # links BATCH_ACCESS gateways use to fan sub-ops out locally.
+        by_host: dict[str, list[Site]] = {}
+        for site in self.sites.values():
+            by_host.setdefault(site.host, []).append(site)
+        for siblings in by_host.values():
+            for site in siblings:
+                site.colocated = {
+                    other.name: other for other in siblings if other is not site
+                }
 
         self.directory = {name: site.address for name, site in self.sites.items()}
         self.monitor = ProgressMonitor(

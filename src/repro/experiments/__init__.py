@@ -6,6 +6,7 @@ from repro.experiments import (
     availability,
     ccp_contention,
     load_balance,
+    message_economy,
     protocol_matrix,
     quorum_traffic,
     scalability,
@@ -21,6 +22,7 @@ __all__ = [
     "build_instance",
     "ccp_contention",
     "load_balance",
+    "message_economy",
     "protocol_matrix",
     "quorum_traffic",
     "scalability",

@@ -103,19 +103,39 @@ def build_instance(
     seed: int = 7,
     failure_profile: bool = False,
     settle_time: float = 60.0,
+    sites_per_host: int = 1,
+    batch_site_ops: bool = False,
+    piggyback_prepare: bool = False,
+    latency_aware_routing: bool = False,
+    latency: Optional[str] = None,
+    latency_params: Optional[dict] = None,
     **config_overrides: Any,
 ) -> RainbowInstance:
-    """Build a ready RainbowInstance for an experiment point."""
+    """Build a ready RainbowInstance for an experiment point.
+
+    ``sites_per_host`` co-locates sites on shared hosts (the paper's shared
+    Sitelet), which is what makes ``batch_site_ops`` actually coalesce
+    messages; ``latency``/``latency_params`` select the network latency
+    model (e.g. ``"lanwan"`` for a LAN/WAN topology).
+    """
     config = RainbowConfig.quick(
         n_sites=n_sites,
         n_items=n_items,
         replication_degree=replication_degree,
+        sites_per_host=sites_per_host,
         seed=seed,
         settle_time=settle_time,
     )
     config.protocols.rcp = rcp
     config.protocols.ccp = ccp
     config.protocols.acp = acp
+    config.protocols.batch_site_ops = batch_site_ops
+    config.protocols.piggyback_prepare = piggyback_prepare
+    config.protocols.latency_aware_routing = latency_aware_routing
+    if latency is not None:
+        config.network.latency = latency
+    if latency_params is not None:
+        config.network.latency_params = dict(latency_params)
     if ccp_options:
         config.protocols.ccp_options = dict(ccp_options)
     if failure_profile:

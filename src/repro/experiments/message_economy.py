@@ -1,0 +1,166 @@
+"""EXP-MSGECON: message-economy optimizations across the flag lattice.
+
+Quantifies what the three coordinator optimizations (docs/PERF.md) buy on
+a LAN/WAN-style domain where sites share hosts (the paper's shared-Sitelet
+deployment): per-host operation batching (``batch_site_ops``), the
+piggybacked 2PC prepare (``piggyback_prepare``), and latency-aware quorum
+routing (``latency_aware_routing``).
+
+Expected shape:
+
+* **batch** collapses same-host copy accesses into one ``BATCH_ACCESS``
+  round trip, so messages/txn drops wherever a wave hits co-located
+  copies;
+* **piggyback** folds the VOTE_REQ round into the final access, removing
+  one full commit round trip per remote participant reached by the last
+  operation;
+* **routing** prefers LAN replicas under ``lanwan`` latency, cutting
+  response time (and feeding batching bigger same-host groups);
+* **all** stacks the three — the acceptance bar is ≥25% fewer
+  messages/txn than ``none`` under QC.
+
+The CCP is MVTO: timestamp versions let writes piggyback their prepare
+too (counter-version CCPs would fall back to the explicit round on
+write-final transactions).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import ExperimentTable, build_instance
+from repro.experiments.runner import sweep
+from repro.net.message import MessageType
+from repro.workload.spec import WorkloadSpec
+
+__all__ = ["run", "FLAG_SETS"]
+
+#: Transaction-processing traffic (copy access + commit; overhead excluded).
+DATA_TYPES = MessageType.DATA_CATEGORY | MessageType.COMMIT_CATEGORY
+
+#: The flag lattice: each point of the sweep enables one subset.
+FLAG_SETS: dict[str, dict[str, bool]] = {
+    "none": {},
+    "batch": {"batch_site_ops": True},
+    "piggyback": {"piggyback_prepare": True},
+    "routing": {"latency_aware_routing": True},
+    "all": {
+        "batch_site_ops": True,
+        "piggyback_prepare": True,
+        "latency_aware_routing": True,
+    },
+}
+
+
+def _trial(
+    rcp: str,
+    latency: str,
+    flags: str,
+    n_txns: int,
+    n_sites: int,
+    n_items: int,
+    replication_degree: int,
+    sites_per_host: int,
+    seed: int,
+) -> dict:
+    """One traffic-accounting session at a single (RCP, latency, flags) point."""
+    instance = build_instance(
+        n_sites,
+        n_items,
+        replication_degree,
+        rcp=rcp,
+        ccp="MVTO",
+        seed=seed,
+        settle_time=50.0,
+        sites_per_host=sites_per_host,
+        latency=latency,
+        **FLAG_SETS[flags],
+    )
+    instance.start()
+    before = dict(instance.network.stats.by_type)
+    before_rt = instance.network.stats.round_trips
+    spec = WorkloadSpec(
+        n_transactions=n_txns,
+        arrival="poisson",
+        arrival_rate=0.2,
+        min_ops=4,
+        max_ops=6,
+        read_fraction=0.6,
+    )
+    result = instance.run_workload(spec)
+    after = instance.network.stats.by_type
+    data_msgs = sum(
+        after.get(mtype, 0) - before.get(mtype, 0) for mtype in DATA_TYPES
+    )
+    vote_reqs = after.get(MessageType.VOTE_REQ, 0) - before.get(MessageType.VOTE_REQ, 0)
+    finished = max(result.statistics.finished, 1)
+    stats = result.statistics
+    return {
+        "rcp": rcp,
+        "latency": latency,
+        "flags": flags,
+        "msgs_per_txn": data_msgs / finished,
+        "round_trips_per_txn": (
+            (instance.network.stats.round_trips - before_rt) / finished
+        ),
+        "vote_reqs_per_txn": vote_reqs / finished,
+        "saved_per_txn": stats.round_trips_saved / finished,
+        "batched_per_txn": stats.batched_ops / finished,
+        "response_time": stats.mean_response_time or 0.0,
+        "commit_rate": stats.commit_rate,
+    }
+
+
+def run(
+    flag_sets: Sequence[str] = ("none", "batch", "piggyback", "routing", "all"),
+    rcps: Sequence[str] = ("QC", "ROWAA"),
+    latencies: Sequence[str] = ("uniform", "lanwan"),
+    n_txns: int = 120,
+    n_sites: int = 8,
+    n_items: int = 48,
+    replication_degree: int = 4,
+    sites_per_host: int = 4,
+    seed: int = 7,
+    n_jobs: int | None = 1,
+) -> ExperimentTable:
+    """Sweep the optimization lattice × RCP × latency model."""
+    table = ExperimentTable(
+        title="EXP-MSGECON: message economy across the optimization lattice",
+        columns=[
+            "rcp",
+            "latency",
+            "flags",
+            "msgs_per_txn",
+            "round_trips_per_txn",
+            "vote_reqs_per_txn",
+            "saved_per_txn",
+            "batched_per_txn",
+            "response_time",
+            "commit_rate",
+        ],
+        notes=(
+            "8 sites on 2 hosts (4 per host), degree 4, MVTO+2PC; "
+            "transaction-processing messages only.  'saved' counts round "
+            "trips avoided by batching + piggybacked prepares."
+        ),
+    )
+    points = [
+        {"rcp": rcp, "latency": latency, "flags": flags}
+        for rcp in rcps
+        for latency in latencies
+        for flags in flag_sets
+    ]
+    rows = sweep(
+        _trial,
+        points,
+        n_jobs=n_jobs,
+        n_txns=n_txns,
+        n_sites=n_sites,
+        n_items=n_items,
+        replication_degree=replication_degree,
+        sites_per_host=sites_per_host,
+        seed=seed,
+    )
+    for row in rows:
+        table.add(**row)
+    return table

@@ -21,10 +21,18 @@ def run(
     n_sites: int = 4,
     n_items: int = 64,
     seed: int = 3,
+    sites_per_host: int = 1,
+    batch_site_ops: bool = False,
+    piggyback_prepare: bool = False,
+    latency_aware_routing: bool = False,
 ) -> tuple[SessionResult, str, RainbowInstance]:
     """Run the default session; returns (result, panel_text, instance)."""
     instance = build_instance(
         n_sites, n_items, 3, rcp="QC", ccp="2PL", acp="2PC", seed=seed,
+        sites_per_host=sites_per_host,
+        batch_site_ops=batch_site_ops,
+        piggyback_prepare=piggyback_prepare,
+        latency_aware_routing=latency_aware_routing,
         sample_interval=25.0,
     )
     spec = WorkloadSpec(

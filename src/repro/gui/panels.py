@@ -198,11 +198,19 @@ def render_sites_panel(sites) -> str:
     return render_box("Rainbow Sites", render_table(headers, rows), width=110)
 
 
-def render_traffic_panel(network_stats, top: int = 10) -> str:
+def render_traffic_panel(
+    network_stats,
+    top: int = 10,
+    *,
+    round_trips_saved: int = 0,
+    batched_ops: int = 0,
+) -> str:
     """Message-traffic breakdown (part of the Display menu's output).
 
     Groups the per-type counters into the coarse categories (data access,
     commit protocol, name server, web tier) and lists the busiest types.
+    ``round_trips_saved``/``batched_ops`` add message-economy lines when the
+    optimizations fired (zero keeps the historical panel unchanged).
     """
     by_type = dict(network_stats.by_type)
     categories: dict[str, int] = {}
@@ -218,6 +226,12 @@ def render_traffic_panel(network_stats, top: int = 10) -> str:
         f"Lost / duplicated  : {network_stats.lost_random} / {network_stats.duplicated}",
         f"Round trips        : {network_stats.round_trips}",
         f"RPC timeouts       : {network_stats.rpc_timeouts}",
+    ]
+    if round_trips_saved:
+        lines.append(f"Round trips saved  : {round_trips_saved}")
+    if batched_ops:
+        lines.append(f"Batched accesses   : {batched_ops}")
+    lines += [
         "",
         "By category:",
     ]

@@ -1,0 +1,173 @@
+"""``python -m repro bench`` — machine-readable performance baselines.
+
+Writes two JSON artifacts the CI pipeline uploads on every run, so the
+performance trajectory of the kernel and the transaction path is tracked
+release over release:
+
+* ``BENCH_kernel.json`` — discrete-event kernel throughput (events per
+  wall-clock second) on the same three workloads as the pytest-benchmark
+  suite: a pure timeout chain, an event ping-pong, and a full session.
+* ``BENCH_session.json`` — transaction-path economy: messages and round
+  trips per transaction with the message-economy optimizations
+  (docs/PERF.md) off vs. all on, over the same co-located 8-site domain.
+
+Simulation-derived numbers (events, messages, round trips, commit rate)
+are deterministic for a given seed; only the wall-clock fields vary from
+machine to machine.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.experiments.common import build_instance
+from repro.sim.kernel import Simulator
+from repro.workload.spec import WorkloadSpec
+
+__all__ = ["run_kernel_bench", "run_session_bench", "write_bench_files"]
+
+
+def _timeout_chain(n: int) -> tuple[int, float]:
+    sim = Simulator()
+
+    def chain():
+        for _ in range(n):
+            yield sim.timeout(1.0)
+
+    sim.process(chain())
+    started = time.perf_counter()
+    sim.run()
+    return sim.processed_events, time.perf_counter() - started
+
+
+def _ping_pong(n: int) -> tuple[int, float]:
+    sim = Simulator()
+    pending = []
+
+    def ping():
+        for _ in range(n):
+            event = sim.event()
+            pending.append(event)
+            yield sim.timeout(0.5)
+            yield event
+
+    def pong():
+        while True:
+            yield sim.timeout(1.0)
+            if pending:
+                pending.pop().succeed(42)
+
+    ping_process = sim.process(ping())
+    sim.process(pong())
+    started = time.perf_counter()
+    sim.run(until=ping_process)
+    return sim.processed_events, time.perf_counter() - started
+
+
+def run_kernel_bench(
+    chain_n: int = 150_000, pong_n: int = 40_000, n_txns: int = 100
+) -> dict:
+    """Kernel events/sec on the three standard workloads."""
+    rows = []
+    for workload, (events, wall) in (
+        ("timeout-chain", _timeout_chain(chain_n)),
+        ("ping-pong", _ping_pong(pong_n)),
+    ):
+        rows.append(
+            {
+                "workload": workload,
+                "events": events,
+                "wall_s": wall,
+                "events_per_sec": events / wall,
+            }
+        )
+    instance = build_instance(4, 32, 3, seed=5, settle_time=30.0)
+    result = instance.run_workload(
+        WorkloadSpec(
+            n_transactions=n_txns,
+            arrival="poisson",
+            arrival_rate=0.5,
+            min_ops=3,
+            max_ops=6,
+            read_fraction=0.7,
+        )
+    )
+    stats = result.statistics
+    rows.append(
+        {
+            "workload": "session",
+            "events": stats.processed_events,
+            "wall_s": stats.wall_clock_seconds,
+            "events_per_sec": stats.events_per_second,
+        }
+    )
+    return {"benchmark": "BENCH-KERNEL", "unit": "events/sec", "rows": rows}
+
+
+def _session_point(label: str, *, optimized: bool, n_txns: int) -> dict:
+    instance = build_instance(
+        8,
+        48,
+        4,
+        rcp="QC",
+        ccp="MVTO",
+        seed=7,
+        settle_time=50.0,
+        sites_per_host=4,
+        batch_site_ops=optimized,
+        piggyback_prepare=optimized,
+        latency_aware_routing=optimized,
+        latency="lanwan",
+    )
+    result = instance.run_workload(
+        WorkloadSpec(
+            n_transactions=n_txns,
+            arrival="poisson",
+            arrival_rate=0.2,
+            min_ops=4,
+            max_ops=6,
+            read_fraction=0.6,
+        )
+    )
+    stats = result.statistics
+    net = instance.network.stats
+    finished = max(stats.finished, 1)
+    return {
+        "config": label,
+        "messages_per_txn": net.sent / finished,
+        "round_trips_per_txn": net.round_trips / finished,
+        "round_trips_saved_per_txn": stats.round_trips_saved / finished,
+        "events_per_sec": stats.events_per_second,
+        "mean_response_time": stats.mean_response_time or 0.0,
+        "commit_rate": stats.commit_rate,
+    }
+
+
+def run_session_bench(n_txns: int = 120) -> dict:
+    """Transaction-path message economy: optimizations off vs. all on."""
+    rows = [
+        _session_point("baseline", optimized=False, n_txns=n_txns),
+        _session_point("optimized", optimized=True, n_txns=n_txns),
+    ]
+    return {
+        "benchmark": "BENCH-SESSION",
+        "domain": "8 sites / 2 hosts, degree 4, QC+MVTO+2PC, lanwan latency",
+        "rows": rows,
+    }
+
+
+def write_bench_files(out_dir: str = ".") -> list[Path]:
+    """Write ``BENCH_kernel.json`` and ``BENCH_session.json`` into ``out_dir``."""
+    target = Path(out_dir)
+    target.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, payload in (
+        ("BENCH_kernel.json", run_kernel_bench()),
+        ("BENCH_session.json", run_session_bench()),
+    ):
+        path = target / name
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        written.append(path)
+    return written

@@ -77,7 +77,11 @@ def session_report(
         "## Message traffic",
         "",
         "```",
-        render_traffic_panel(instance.network.stats),
+        render_traffic_panel(
+            instance.network.stats,
+            round_trips_saved=stats.round_trips_saved,
+            batched_ops=stats.batched_ops,
+        ),
         "```",
     ]
     if result.fault_log:

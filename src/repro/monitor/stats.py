@@ -88,6 +88,12 @@ class OutputStatistics:
     messages_dropped: int = 0
     messages_lost_random: int = 0
     messages_duplicated: int = 0
+    # Message-economy optimizations (docs/PERF.md): round trips the
+    # coordinators avoided via batching and piggybacked prepares, and the
+    # number of copy accesses that traveled inside BATCH_ACCESS messages.
+    # Both stay 0 (and off the panel) unless the optimizations are enabled.
+    round_trips_saved: int = 0
+    batched_ops: int = 0
     # Simulator self-measurement: how fast the kernel ran this session in
     # real time.  These depend on the host machine — unlike every field
     # above, they are NOT deterministic and are excluded from experiment
@@ -130,6 +136,14 @@ class OutputStatistics:
             ("Mean messages per transaction", fmt(self.mean_messages_per_txn)),
             ("Round-trip messages", fmt(self.round_trips)),
             ("RPC timeouts", fmt(self.rpc_timeouts)),
+        ]
+        # Only rendered when an optimization actually fired, so sessions
+        # with the flags off keep the exact historical panel bytes.
+        if self.round_trips_saved:
+            rows.append(("Round trips saved (optimizations)", fmt(self.round_trips_saved)))
+        if self.batched_ops:
+            rows.append(("Batched copy accesses", fmt(self.batched_ops)))
+        rows += [
             ("Messages dropped (faults)", fmt(self.messages_dropped)),
             ("Messages lost (random)", fmt(self.messages_lost_random)),
             ("Messages duplicated", fmt(self.messages_duplicated)),
@@ -169,6 +183,9 @@ class ProgressMonitor:
         self.aborted = 0
         self.aborts_by_cause: Counter[str] = Counter()
         self.response_times: list[float] = []
+        # Message-economy counters fed by the coordinators.
+        self.round_trips_saved = 0
+        self.batched_ops = 0
         self.session_started_at = sim.now
         # Wall-clock/event baselines so the session self-reports simulator
         # performance (events/sec) alongside the paper's statistics.
@@ -200,6 +217,15 @@ class ProgressMonitor:
     def txn_started(self, txn: Transaction) -> None:
         """The home-site thread picked the transaction up."""
         self.started += 1
+
+    def note_round_trips_saved(self, n: int = 1) -> None:
+        """A coordinator avoided ``n`` request/reply round trips."""
+        self.round_trips_saved += n
+
+    def note_batched_ops(self, n_ops: int, saved: int) -> None:
+        """``n_ops`` copy accesses traveled in one BATCH_ACCESS message."""
+        self.batched_ops += n_ops
+        self.round_trips_saved += saved
 
     def txn_finished(self, txn: Transaction, ctx=None) -> None:
         """The coordinator thread finished (committed or aborted)."""
@@ -298,6 +324,8 @@ class ProgressMonitor:
             messages_dropped=net.dropped,
             messages_lost_random=net.lost_random,
             messages_duplicated=net.duplicated,
+            round_trips_saved=self.round_trips_saved,
+            batched_ops=self.batched_ops,
             mean_response_time=mean_rt,
             median_response_time=median_rt,
             p95_response_time=p95_rt,

@@ -119,10 +119,20 @@ class NameServer:
             else:
                 info = self._registry.get(wanted)
                 payload = {"sites": [info.to_dict()] if info else []}
-            self.endpoint.reply(msg, MessageType.NS_REPLY, payload=payload)
+            # Reply size reflects the directory entries returned, so
+            # byte-weighted latency models price the lookup realistically.
+            self.endpoint.reply(
+                msg,
+                MessageType.NS_REPLY,
+                payload=payload,
+                size=max(1, len(payload["sites"])),
+            )
         elif msg.mtype == MessageType.NS_CATALOG:
             self.endpoint.reply(
-                msg, MessageType.NS_REPLY, payload={"catalog": self.catalog.to_dict()}
+                msg,
+                MessageType.NS_REPLY,
+                payload={"catalog": self.catalog.to_dict()},
+                size=max(1, len(self.catalog)),
             )
         else:
             self.endpoint.reply(

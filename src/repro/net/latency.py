@@ -29,6 +29,15 @@ class LatencyModel(Protocol):
         """Return the delivery delay for one message."""
         ...
 
+    def expected_delay(self, src_host: str, dst_host: str, size: int = 1) -> float:
+        """Expected delay of :meth:`delay` (no randomness consumed).
+
+        Latency-aware routing ranks copy holders by this value; it must
+        never draw from the network's random stream, so routing decisions
+        cannot perturb the message-delay sequence.
+        """
+        ...
+
 
 class ConstantLatency:
     """Every message takes exactly ``value`` time units (default 1)."""
@@ -39,6 +48,9 @@ class ConstantLatency:
         self.value = value
 
     def delay(self, src_host: str, dst_host: str, size: int, rng: random.Random) -> float:
+        return self.value
+
+    def expected_delay(self, src_host: str, dst_host: str, size: int = 1) -> float:
         return self.value
 
     def __repr__(self) -> str:
@@ -56,6 +68,9 @@ class UniformLatency:
 
     def delay(self, src_host: str, dst_host: str, size: int, rng: random.Random) -> float:
         return rng.uniform(self.low, self.high)
+
+    def expected_delay(self, src_host: str, dst_host: str, size: int = 1) -> float:
+        return (self.low + self.high) / 2.0
 
     def __repr__(self) -> str:
         return f"UniformLatency({self.low}, {self.high})"
@@ -77,6 +92,9 @@ class ExponentialLatency:
 
     def delay(self, src_host: str, dst_host: str, size: int, rng: random.Random) -> float:
         return self.floor + rng.expovariate(1.0 / self.mean)
+
+    def expected_delay(self, src_host: str, dst_host: str, size: int = 1) -> float:
+        return self.floor + self.mean
 
     def __repr__(self) -> str:
         return f"ExponentialLatency(mean={self.mean}, floor={self.floor})"
@@ -101,6 +119,11 @@ class LanWanLatency:
         if src_host == dst_host:
             return self.local
         return rng.uniform(self.remote_low, self.remote_high)
+
+    def expected_delay(self, src_host: str, dst_host: str, size: int = 1) -> float:
+        if src_host == dst_host:
+            return self.local
+        return (self.remote_low + self.remote_high) / 2.0
 
     def __repr__(self) -> str:
         return (
@@ -138,6 +161,14 @@ class LinkOverrideLatency:
         if isinstance(override, (int, float)):
             return float(override)
         return override.delay(src_host, dst_host, size, rng)
+
+    def expected_delay(self, src_host: str, dst_host: str, size: int = 1) -> float:
+        override = self._overrides.get(frozenset((src_host, dst_host)))
+        if override is None:
+            return self.base.expected_delay(src_host, dst_host, size)
+        if isinstance(override, (int, float)):
+            return float(override)
+        return override.expected_delay(src_host, dst_host, size)
 
     def __repr__(self) -> str:
         return f"LinkOverrideLatency(base={self.base!r}, overrides={len(self._overrides)})"

@@ -28,6 +28,11 @@ class MessageType:
     PREWRITE = "PREWRITE"
     PREWRITE_REPLY = "PREWRITE_REPLY"
     RELEASE = "RELEASE"
+    # One message carrying several co-located copy accesses (the
+    # ``batch_site_ops`` optimization): the receiving site fans the sub-ops
+    # out to itself and its same-host siblings and answers with a vector.
+    BATCH_ACCESS = "BATCH_ACCESS"
+    BATCH_REPLY = "BATCH_REPLY"
 
     # Atomic commitment (ACP)
     VOTE_REQ = "VOTE_REQ"
@@ -56,7 +61,9 @@ class MessageType:
     PM_QUERY = "PM_QUERY"
     PM_REPLY = "PM_REPLY"
 
-    DATA_CATEGORY = frozenset({READ, READ_REPLY, PREWRITE, PREWRITE_REPLY, RELEASE})
+    DATA_CATEGORY = frozenset(
+        {READ, READ_REPLY, PREWRITE, PREWRITE_REPLY, RELEASE, BATCH_ACCESS, BATCH_REPLY}
+    )
     COMMIT_CATEGORY = frozenset(
         {VOTE_REQ, VOTE, PRECOMMIT, PRECOMMIT_ACK, COMMIT, ABORT, ACK, DECISION_REQ, DECISION}
     )

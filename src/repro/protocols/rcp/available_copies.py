@@ -31,7 +31,7 @@ class AvailableCopiesController(ReplicationController):
     name = "ROWAA"
 
     def do_read(self, ctx, item: str) -> Generator:
-        spec = ctx.catalog.item(item)
+        spec = ctx.item_spec(item)
         failures = []
         for site in ctx.order_local_first(spec.sites):
             result = yield from ctx.access_read(site, item)
@@ -44,7 +44,7 @@ class AvailableCopiesController(ReplicationController):
         raise ReplicationAbort(f"no copy of {item!r} reachable ({'; '.join(failures)})")
 
     def do_write(self, ctx, item: str, value: Any) -> Generator:
-        spec = ctx.catalog.item(item)
+        spec = ctx.item_spec(item)
         sites = ctx.order_local_first(spec.sites)
         results = yield from ctx.access_prewrite_many(sites, item, value)
         ccp_failures = [r for r in results if not r.ok and r.kind == "ccp"]

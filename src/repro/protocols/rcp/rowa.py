@@ -30,7 +30,7 @@ class RowaController(ReplicationController):
     name = "ROWA"
 
     def do_read(self, ctx, item: str) -> Generator:
-        spec = ctx.catalog.item(item)
+        spec = ctx.item_spec(item)
         candidates = ctx.order_local_first(spec.sites)
         failures = []
         for site in candidates:
@@ -44,7 +44,7 @@ class RowaController(ReplicationController):
         raise ReplicationAbort(f"no copy of {item!r} reachable ({'; '.join(failures)})")
 
     def do_write(self, ctx, item: str, value: Any) -> Generator:
-        spec = ctx.catalog.item(item)
+        spec = ctx.item_spec(item)
         sites = ctx.order_local_first(spec.sites)
         results = yield from ctx.access_prewrite_many(sites, item, value)
         ccp_failures = [r for r in results if not r.ok and r.kind == "ccp"]

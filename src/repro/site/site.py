@@ -127,6 +127,14 @@ class Site:
         self._prepared: dict[int, PreparedState] = {}
         self._activity: dict[int, float] = {}
         self._handlers: set[Process] = set()
+        # Same-host sibling sites (the paper's shared Sitelet): the instance
+        # wires this map so one BATCH_ACCESS can fan out to co-located
+        # copies without extra network hops.
+        self.colocated: dict[str, "Site"] = {}
+        # Transaction ids already accepted via TXN_SUBMIT: duplicated
+        # deliveries (flaky links, duplication_rate) must not start the
+        # same transaction twice.
+        self._seen_submissions: set[int] = set()
         # Distributed-deadlock support: where each known transaction's home
         # is, and the contexts of transactions homed here.
         self._txn_home: dict[int, str] = {}
@@ -282,6 +290,9 @@ class Site:
         elif mtype == MessageType.PREWRITE:
             self._note_home(payload)
             yield from self._handle_prewrite(msg, payload)
+        elif mtype == MessageType.BATCH_ACCESS:
+            self._note_home(payload)
+            yield from self._handle_batch_access(msg, payload)
         elif mtype == MessageType.VOTE_REQ:
             self._handle_vote_req(msg, payload)
         elif mtype == MessageType.PRECOMMIT:
@@ -314,9 +325,9 @@ class Site:
                 msg, MessageType.READ_REPLY, {"ok": False, "reason": str(abort)}
             )
             return
-        self.endpoint.reply(
-            msg, MessageType.READ_REPLY, {"ok": True, "value": value, "version": version}
-        )
+        reply = {"ok": True, "value": value, "version": version}
+        self._fold_prepare(txn, ts, payload.get("prepare"), reply)
+        self.endpoint.reply(msg, MessageType.READ_REPLY, reply)
 
     def _handle_prewrite(self, msg: Message, payload: dict):
         txn, ts = payload["txn"], payload["ts"]
@@ -328,7 +339,110 @@ class Site:
                 msg, MessageType.PREWRITE_REPLY, {"ok": False, "reason": str(abort)}
             )
             return
-        self.endpoint.reply(msg, MessageType.PREWRITE_REPLY, {"ok": True, "version": version})
+        reply = {"ok": True, "version": version}
+        self._fold_prepare(txn, ts, payload.get("prepare"), reply)
+        self.endpoint.reply(msg, MessageType.PREWRITE_REPLY, reply)
+
+    def _fold_prepare(
+        self, txn: int, ts: float, prepare: Optional[dict], reply: dict
+    ) -> None:
+        """Run a piggybacked prepare and fold the vote into ``reply``.
+
+        The last-agent optimization: the coordinator attached the VOTE_REQ
+        payload to the transaction's final access, so the access reply
+        doubles as this participant's vote and the explicit round is
+        skipped.  Only reached after a successful access — a failed access
+        aborts the transaction before any vote matters.
+        """
+        if prepare is None:
+            return
+        vote, reason = self.local_prepare(
+            txn,
+            prepare.get("versions", {}),
+            prepare.get("coordinator"),
+            ts,
+            acp=prepare.get("acp", "2PC"),
+            peers=prepare.get("peers", []),
+        )
+        reply["vote"] = vote
+        reply["vote_reason"] = reason
+
+    def _handle_batch_access(self, msg: Message, payload: dict):
+        """Gateway for one BATCH_ACCESS: fan sub-ops out over the host.
+
+        Each sub-op targets this site or a co-located sibling and runs as
+        its own process (a lock wait at one sibling must not serialize the
+        others); the single reply carries one entry per requested site.
+        """
+        sites = payload.get("sites") or []
+        prepares = payload.get("prepare") or {}
+        write = payload.get("kind") == "W"
+        procs = [
+            self._spawn(
+                self._batch_sub_op(
+                    target,
+                    payload["txn"],
+                    payload["ts"],
+                    payload["item"],
+                    payload.get("value"),
+                    write,
+                    prepares.get(target),
+                    payload.get("home"),
+                ),
+                name=f"site:{self.name}:batch:{target}",
+            )
+            for target in sites
+        ]
+        if procs:
+            yield self.sim.all_of(procs)
+        results = [process.value for process in procs]
+        self.endpoint.reply(
+            msg,
+            MessageType.BATCH_REPLY,
+            {"results": results},
+            size=max(1, len(results)),
+        )
+
+    def _batch_sub_op(
+        self,
+        target_name: str,
+        txn: int,
+        ts: float,
+        item: str,
+        value: Any,
+        write: bool,
+        prepare: Optional[dict],
+        home: Optional[str],
+    ):
+        """One sub-op of a batch, dispatched to self or a same-host sibling."""
+        target = self if target_name == self.name else self.colocated.get(target_name)
+        if target is None or not target.up:
+            return {
+                "site": target_name,
+                "ok": False,
+                "kind": "net",
+                "reason": f"{target_name} unavailable at gateway {self.name}",
+            }
+        if home is not None:
+            target._txn_home[txn] = home
+        entry: dict[str, Any] = {"site": target_name}
+        try:
+            if write:
+                version = yield from target.local_prewrite(txn, ts, item, value)
+                entry.update(ok=True, version=version)
+            else:
+                read_value, version = yield from target.local_read(txn, ts, item)
+                entry.update(ok=True, value=read_value, version=version)
+        except ConcurrencyAbort as abort:
+            return {
+                "site": target_name,
+                "ok": False,
+                "kind": "ccp",
+                "reason": str(abort),
+            }
+        if prepare is not None:
+            target._fold_prepare(txn, ts, prepare, entry)
+        return entry
 
     def _handle_vote_req(self, msg: Message, payload: dict) -> None:
         vote, reason = self.local_prepare(
@@ -347,11 +461,26 @@ class Site:
                 msg, MessageType.TXN_RESULT, {"ok": False, "reason": "no coordinator"}
             )
             return
+        # An unreliable link can deliver the same submission twice; running
+        # the transaction again would double-apply its effects.  The first
+        # delivery wins and its eventual TXN_RESULT answers the client.
+        txn_id = payload["txn_spec"].txn_id
+        if txn_id in self._seen_submissions:
+            return
+        self._seen_submissions.add(txn_id)
 
         def _run_and_report():
             outcome = yield from self.coordinator_factory(self, payload["txn_spec"])
             if self.up:
-                self.endpoint.reply(msg, MessageType.TXN_RESULT, {"ok": True, "outcome": outcome})
+                # Result size tracks the data returned (one unit per read
+                # value), so byte-weighted latency models see real payloads.
+                n_values = len(outcome.get("reads", {})) if isinstance(outcome, dict) else 0
+                self.endpoint.reply(
+                    msg,
+                    MessageType.TXN_RESULT,
+                    {"ok": True, "outcome": outcome},
+                    size=max(1, n_values),
+                )
 
         self.spawn_home_transaction(_run_and_report(), name=f"txn@{self.name}")
 

@@ -77,6 +77,11 @@ class CoordinatorConfig:
     vote_timeout: float = 40.0
     ack_timeout: float = 25.0
     ack_retries: int = 3
+    # Message-economy optimizations (docs/PERF.md); all off by default so
+    # the unoptimized message sequences replay byte-identically.
+    batch_site_ops: bool = False
+    piggyback_prepare: bool = False
+    latency_aware_routing: bool = False
     # Deterministic failure scenarios ("crash the coordinator right after
     # the votes are in"): the classic classroom exercise about 2PC blocking
     # and the driver of the EXP-ACP benchmark.  ``failpoint`` is one of
@@ -119,6 +124,14 @@ class TxnContext:
         # multiset: quorum accesses run concurrently).  The distributed-
         # deadlock detector forwards probes through ``blocked_site``.
         self._blocked_counts: dict[str, int] = {}
+        # Catalog specs resolved during this attempt (restarts get a fresh
+        # context, so the cache is naturally per-attempt).
+        self._spec_cache: dict[str, Any] = {}
+        # Piggybacked-prepare state: armed only while the final operation's
+        # accesses are in flight; votes folded into access replies wait
+        # here until collect_votes consumes them.
+        self._piggyback_armed = False
+        self._pending_votes: dict[str, tuple[bool, str]] = {}
 
     @property
     def blocked_site(self) -> Optional[str]:
@@ -140,15 +153,64 @@ class TxnContext:
 
     # -- topology helpers --------------------------------------------------------
     def order_local_first(self, sites: list[str]) -> list[str]:
-        """Copy-holder order: the home copy is free, so it goes first."""
+        """Copy-holder order: the home copy is free, so it goes first.
+
+        With ``latency_aware_routing`` the remaining holders are ranked by
+        the latency model's expected delay from the home host (deterministic
+        tie-break on name), so quorum waves and ROWA-A reads prefer LAN
+        replicas over WAN ones under :class:`~repro.net.latency.LanWanLatency`.
+        """
+        if self.config.latency_aware_routing:
+            ordered = sorted(
+                (site for site in sites if site != self.home.name),
+                key=self._latency_rank,
+            )
+            if self.home.name in sites:
+                ordered.insert(0, self.home.name)
+            return ordered
         ordered = sorted(sites)
         if self.home.name in ordered:
             ordered.remove(self.home.name)
             ordered.insert(0, self.home.name)
         return ordered
 
+    def _latency_rank(self, site: str) -> tuple[float, str]:
+        """Sort key for copy holders: (expected delay from home, name).
+
+        Uses the model's deterministic expectation — never a random draw —
+        so routing cannot perturb the network's latency stream.  Models
+        without ``expected_delay`` fall back to alphabetical order.
+        """
+        expected = getattr(self.home.network.latency, "expected_delay", None)
+        delay = 0.0
+        if expected is not None:
+            delay = expected(self.home.host, self.host_of(site))
+        return (delay, site)
+
     def address_of(self, site: str) -> str:
         return self.directory[site]
+
+    def host_of(self, site: str) -> str:
+        """The host a site lives on (addresses are ``host/name``)."""
+        return self.address_of(site).split("/", 1)[0]
+
+    # -- catalog access ----------------------------------------------------------
+    def item_spec(self, item: str):
+        """Catalog spec for ``item``, memoized for this transaction attempt.
+
+        Every RCP wave consults the same placement; one lookup per item per
+        attempt suffices.  Restarted transactions build a fresh context, so
+        recovery paths always re-resolve against current metadata.
+        """
+        spec = self._spec_cache.get(item)
+        if spec is None:
+            spec = self.catalog.item(item)
+            self._spec_cache[item] = spec
+        return spec
+
+    def invalidate_spec_cache(self) -> None:
+        """Drop memoized specs (called when an attempt aborts)."""
+        self._spec_cache.clear()
 
     # -- copy access ---------------------------------------------------------------
     def access_read(self, site: str, item: str):
@@ -165,17 +227,21 @@ class TxnContext:
                 self._block_exit(site)
             self._register(site)
             return AccessResult(True, site, value=value, version=version)
+        request = {
+            "txn": self.txn.txn_id,
+            "ts": self.txn.ts,
+            "item": item,
+            "home": self.home.address,
+        }
+        prepare = self._piggyback_payload(site, item, write=False)
+        if prepare is not None:
+            request["prepare"] = prepare
         self._block_enter(site)
         try:
             reply = yield self.home.endpoint.request(
                 self.address_of(site),
                 MessageType.READ,
-                {
-                    "txn": self.txn.txn_id,
-                    "ts": self.txn.ts,
-                    "item": item,
-                    "home": self.home.address,
-                },
+                request,
                 timeout=self.config.op_timeout,
                 txn_id=self.txn.txn_id,
             )
@@ -187,6 +253,7 @@ class TxnContext:
         if not payload.get("ok"):
             return AccessResult(False, site, kind="ccp", reason=payload.get("reason", ""))
         self._register(site)
+        self._absorb_vote(site, payload)
         return AccessResult(
             True, site, value=payload.get("value"), version=payload.get("version", 0)
         )
@@ -205,18 +272,22 @@ class TxnContext:
                 self._block_exit(site)
             self._register(site)
             return AccessResult(True, site, version=version)
+        request = {
+            "txn": self.txn.txn_id,
+            "ts": self.txn.ts,
+            "item": item,
+            "value": value,
+            "home": self.home.address,
+        }
+        prepare = self._piggyback_payload(site, item, write=True)
+        if prepare is not None:
+            request["prepare"] = prepare
         self._block_enter(site)
         try:
             reply = yield self.home.endpoint.request(
                 self.address_of(site),
                 MessageType.PREWRITE,
-                {
-                    "txn": self.txn.txn_id,
-                    "ts": self.txn.ts,
-                    "item": item,
-                    "value": value,
-                    "home": self.home.address,
-                },
+                request,
                 timeout=self.config.op_timeout,
                 txn_id=self.txn.txn_id,
             )
@@ -228,24 +299,189 @@ class TxnContext:
         if not payload.get("ok"):
             return AccessResult(False, site, kind="ccp", reason=payload.get("reason", ""))
         self._register(site)
+        self._absorb_vote(site, payload)
         return AccessResult(True, site, version=payload.get("version", 0))
 
     def access_read_many(self, sites: list[str], item: str):
         """Concurrent reads at several sites (generator → list[AccessResult])."""
+        if self.config.batch_site_ops:
+            return (yield from self._access_many(sites, item, write=False))
         return (yield from self._gather([self.access_read(site, item) for site in sites]))
 
     def access_prewrite_many(self, sites: list[str], item: str, value: Any):
         """Concurrent pre-writes at several sites (generator → results)."""
+        if self.config.batch_site_ops:
+            return (yield from self._access_many(sites, item, write=True, value=value))
         return (
             yield from self._gather(
                 [self.access_prewrite(site, item, value) for site in sites]
             )
         )
 
+    def _access_many(self, sites: list[str], item: str, write: bool, value: Any = None):
+        """Batched access plan: one BATCH_ACCESS per multi-site host group.
+
+        Remote sites sharing a host are coalesced into a single message to
+        the group's gateway; the home copy and singleton hosts keep the
+        plain per-site path (their message counts are already minimal).
+        Results come back in the order of ``sites``.
+        """
+        groups: dict[str, list[str]] = {}
+        plans = []
+        for site in sites:
+            if site == self.home.name:
+                plans.append(
+                    self.access_prewrite(site, item, value)
+                    if write
+                    else self.access_read(site, item)
+                )
+            else:
+                groups.setdefault(self.host_of(site), []).append(site)
+        for host in sorted(groups):
+            members = groups[host]
+            if len(members) == 1:
+                plans.append(
+                    self.access_prewrite(members[0], item, value)
+                    if write
+                    else self.access_read(members[0], item)
+                )
+            else:
+                plans.append(self._batch_access(members, item, write, value))
+        results = yield from self._gather(plans)
+        by_site: dict[str, AccessResult] = {}
+        for result in results:
+            for access in result if isinstance(result, list) else (result,):
+                by_site[access.site] = access
+        return [by_site[site] for site in sites]
+
+    def _batch_access(self, group: list[str], item: str, write: bool, value: Any):
+        """One BATCH_ACCESS round trip covering all of ``group`` (same host).
+
+        The first (name-ordered) member acts as the gateway and fans the
+        sub-ops out to its co-located siblings; the reply carries one entry
+        per site.  A lost batch is a net failure for every member — the same
+        classification each unbatched RPC would have produced on timeout.
+        """
+        gateway = min(group)
+        request: dict[str, Any] = {
+            "txn": self.txn.txn_id,
+            "ts": self.txn.ts,
+            "item": item,
+            "kind": "W" if write else "R",
+            "sites": list(group),
+            "home": self.home.address,
+        }
+        if write:
+            request["value"] = value
+        prepare = {}
+        for site in group:
+            attached = self._piggyback_payload(site, item, write=write)
+            if attached is not None:
+                prepare[site] = attached
+        if prepare:
+            request["prepare"] = prepare
+        for site in group:
+            self._block_enter(site)
+        try:
+            reply = yield self.home.endpoint.request(
+                self.address_of(gateway),
+                MessageType.BATCH_ACCESS,
+                request,
+                timeout=self.config.op_timeout,
+                txn_id=self.txn.txn_id,
+                size=len(group),
+            )
+        except (RpcTimeout, NetworkError) as failure:
+            return [
+                AccessResult(False, site, kind="net", reason=str(failure))
+                for site in group
+            ]
+        finally:
+            for site in group:
+                self._block_exit(site)
+        if self.monitor is not None:
+            self.monitor.note_batched_ops(len(group), saved=len(group) - 1)
+        entries = {
+            entry.get("site"): entry
+            for entry in (reply.payload or {}).get("results", [])
+        }
+        results = []
+        for site in group:
+            entry = entries.get(site)
+            if entry is None:
+                results.append(
+                    AccessResult(False, site, kind="net", reason="no batch result")
+                )
+            elif entry.get("ok"):
+                self._register(site)
+                self._absorb_vote(site, entry)
+                results.append(
+                    AccessResult(
+                        True,
+                        site,
+                        value=entry.get("value"),
+                        version=entry.get("version", 0),
+                    )
+                )
+            else:
+                results.append(
+                    AccessResult(
+                        False,
+                        site,
+                        kind=entry.get("kind", "ccp"),
+                        reason=entry.get("reason", ""),
+                    )
+                )
+        return results
+
     def _gather(self, generators):
         processes = [self.sim.process(g, name="access") for g in generators]
         yield self.sim.all_of(processes)
         return [p.value for p in processes]
+
+    # -- piggybacked prepare -----------------------------------------------------
+    def arm_piggyback(self) -> None:
+        """Arm prepare piggybacking for the transaction's final operation.
+
+        Only 2PC benefits (3PC's extra PRECOMMIT round dominates either
+        way), so other ACPs leave the flag unarmed and keep the explicit
+        vote round.
+        """
+        self._piggyback_armed = (
+            self.config.piggyback_prepare and self.config.acp.upper() == "2PC"
+        )
+
+    def _piggyback_payload(self, site: str, item: str, write: bool) -> Optional[dict]:
+        """VOTE_REQ payload to ride on a final-operation access (or None).
+
+        A write access can only carry a prepare when versions are
+        timestamps (the installed version is known before the prewrite is
+        sent); counter-version CCPs miss the window and fall back to the
+        explicit vote round.  The home site always prepares via the direct
+        local call in :meth:`collect_votes`.
+        """
+        if not self._piggyback_armed or site == self.home.name:
+            return None
+        if write and not getattr(self.home.cc, "timestamp_versions", False):
+            return None
+        participant = self.participants.get(site)
+        versions = dict(participant.versions) if participant is not None else {}
+        if write:
+            versions[item] = self.txn.ts
+        return {
+            "versions": versions,
+            "coordinator": self.home.address,
+            "acp": self.config.acp,
+            "peers": self.participant_addresses(),
+        }
+
+    def _absorb_vote(self, site: str, payload: dict) -> None:
+        """Store a vote folded into an access reply for collect_votes."""
+        if "vote" in payload:
+            self._pending_votes[site] = (
+                bool(payload["vote"]),
+                payload.get("vote_reason", ""),
+            )
 
     # -- bookkeeping -----------------------------------------------------------------
     def _register(self, site: str) -> None:
@@ -304,6 +540,16 @@ class TxnContext:
                 if not vote:
                     all_yes = False
                     detail.append(f"{participant.site}: {reason}")
+            elif participant.site in self._pending_votes:
+                # The vote rode back on the final access reply (piggybacked
+                # prepare): the whole VOTE_REQ round trip is saved for this
+                # participant.
+                vote, reason = self._pending_votes[participant.site]
+                if self.monitor is not None:
+                    self.monitor.note_round_trips_saved(1)
+                if not vote:
+                    all_yes = False
+                    detail.append(f"{participant.site}: {reason or 'NO'}")
             else:
                 remote.append(participant)
 
@@ -440,14 +686,24 @@ def run_transaction(ctx: TxnContext):
         ctx.monitor.txn_started(txn)
 
     try:
-        for op in txn.ops:
+        final = len(txn.ops) - 1
+        for index, op in enumerate(txn.ops):
             if op.kind == OpKind.READ:
+                if index == final:
+                    ctx.arm_piggyback()
                 txn.reads[op.item] = yield from ctx.rcp.do_read(ctx, op.item)
             elif op.kind == OpKind.INCREMENT:
+                # Arm only around the write half: preparing a participant
+                # during the read half would freeze its workspace before
+                # the increment's prewrite lands.
                 current = yield from ctx.rcp.do_read(ctx, op.item)
                 txn.reads[op.item] = current
+                if index == final:
+                    ctx.arm_piggyback()
                 yield from ctx.rcp.do_write(ctx, op.item, current + op.value)
             else:
+                if index == final:
+                    ctx.arm_piggyback()
                 yield from ctx.rcp.do_write(ctx, op.item, op.value)
         yield from ctx.acp.run(ctx)
         txn.status = TxnStatus.COMMITTED
@@ -456,6 +712,7 @@ def run_transaction(ctx: TxnContext):
         _mark_aborted(txn, abort, sim.now)
     except TransactionAborted as abort:
         _mark_aborted(txn, abort, sim.now)
+        ctx.invalidate_spec_cache()
         try:
             yield from ctx.broadcast(MessageType.ABORT, retries=1)
         except Interrupt:

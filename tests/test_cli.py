@@ -82,4 +82,5 @@ class TestCommands:
     def test_experiment_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "qcmsg", "avail", "ccp", "scale", "acp", "lb", "abl", "matrix",
+            "msgecon",
         }
