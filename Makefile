@@ -5,13 +5,14 @@
 #   make lint-all    rainbow-lint + ruff + mypy (skips tools not installed)
 #   make bench       kernel microbenchmark smoke run + BENCH_*.json artifacts
 #   make chaos       chaos suite: 25 nemesis seeds, all safety invariants
+#   make trace       traced session: phase breakdown + trace.json (Perfetto)
 #   make rules       print the rainbow-lint rule catalog
 
 PY       ?= python
 PYPATH   := PYTHONPATH=src
 LINTDIRS := src benchmarks examples
 
-.PHONY: test lint lint-all bench chaos rules
+.PHONY: test lint lint-all bench chaos trace rules
 
 test:
 	$(PYPATH) $(PY) -m pytest -x -q
@@ -37,6 +38,9 @@ bench:
 
 chaos:
 	$(PYPATH) $(PY) -m repro chaos --seeds 25 -j 0
+
+trace:
+	$(PYPATH) $(PY) -m repro trace --seed 7 --out trace.json
 
 rules:
 	$(PYPATH) $(PY) -m repro lint --list-rules

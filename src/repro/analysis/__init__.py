@@ -29,6 +29,8 @@ RB104     protocol-conformance    protocol subclass missing required methods
                                   or never registered
 RB105     sim-hygiene             mutable default args, missing ``__slots__``
                                   in a slotted hierarchy
+RB106     trace-hygiene           span/trace emission code drawing RNG, reading
+                                  the wall clock, or ordering by unordered sets
 ========  ======================  =============================================
 
 Suppress a finding with an inline ``# rb: ignore[RB101] -- reason`` comment
@@ -45,6 +47,7 @@ from repro.analysis import rules_determinism  # noqa: F401  - side-effect regist
 from repro.analysis import rules_generators  # noqa: F401
 from repro.analysis import rules_hygiene  # noqa: F401
 from repro.analysis import rules_protocol  # noqa: F401
+from repro.analysis import rules_tracing  # noqa: F401
 
 __all__ = [
     "Finding",

@@ -21,6 +21,8 @@ from typing import Optional
 from repro.chaos import invariants
 from repro.chaos.nemesis import ChaosPlan, FaultChunk, generate_plan, schedule_from_chunks
 from repro.experiments.common import build_instance
+from repro.monitor.tracing import ExecutionTracer, format_history
+from repro.txn.transaction import txn_id_scope
 from repro.workload.spec import WorkloadSpec
 
 __all__ = ["ChaosCaseReport", "run_chaos_case"]
@@ -47,6 +49,13 @@ class ChaosCaseReport:
     messages_duplicated: int = 0
     fault_events: int = 0
     duration: float = 0.0
+    # Coordinator-side orphans (home site died pre-decision).
+    orphaned_txns: int = 0
+    # Populated only for failing cases: the textbook-notation execution
+    # history (so a violated invariant ships its interleaving next to the
+    # fault plan) and, with ``trace=True``, the Chrome trace-event JSON.
+    history: str = ""
+    trace_json: str = ""
 
     @property
     def ok(self) -> bool:
@@ -93,6 +102,7 @@ def run_chaos_case(
     piggyback_prepare: bool = False,
     latency_aware_routing: bool = False,
     chunks: Optional[tuple[FaultChunk, ...]] = None,
+    trace: bool = False,
 ) -> ChaosCaseReport:
     """Run one seeded chaos session and check every safety invariant.
 
@@ -126,6 +136,13 @@ def run_chaos_case(
         latency_aware_routing=latency_aware_routing,
         checkpoint_interval=50.0,
     )
+    # Always observe the op-level execution (pure observation, so the run
+    # is unchanged); enable span tracing only on request — the resulting
+    # Chrome JSON is carried inside the picklable report, so traces stay
+    # byte-identical across ``-j N`` worker placements.
+    tracer = ExecutionTracer(instance.sim)
+    tracer.attach_all(instance)
+    span_tracer = instance.enable_tracing() if trace else None
     if chunks is None:
         plan = generate_plan(
             seed,
@@ -138,7 +155,13 @@ def run_chaos_case(
         plan = ChaosPlan(seed=seed, chunks=list(chunks))
     instance.config.faults.schedule = plan.schedule()
 
-    result = instance.run_workload(_chaos_workload(seed, n_transactions, arrival_rate))
+    # A chaos case is self-contained, so scope txn ids to it: raw ids (and
+    # with them invariant messages, histories, and traces) become a pure
+    # function of the seed, byte-identical for every -j worker placement.
+    with txn_id_scope():
+        result = instance.run_workload(
+            _chaos_workload(seed, n_transactions, arrival_rate)
+        )
 
     # Heal phase: undo every fault category, recover everything still down.
     instance.network.heal_partition()
@@ -156,6 +179,15 @@ def run_chaos_case(
         instance, final, expected_submissions=n_transactions
     )
     stats = final.statistics
+    failed = any(violations.values())
+    history = ""
+    if failed:
+        history = format_history(tracer.global_events(), max_events=240)
+    trace_json = ""
+    if span_tracer is not None and failed:
+        from repro.obs.export import spans_to_chrome_json
+
+        trace_json = spans_to_chrome_json(span_tracer.spans)
     return ChaosCaseReport(
         seed=seed,
         chunks=tuple(plan.chunks),
@@ -170,4 +202,7 @@ def run_chaos_case(
         messages_duplicated=stats.messages_duplicated,
         fault_events=len(final.fault_log),
         duration=final.duration,
+        orphaned_txns=stats.orphaned_txns,
+        history=history,
+        trace_json=trace_json,
     )

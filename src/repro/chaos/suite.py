@@ -65,6 +65,21 @@ def run_chaos_suite(
     return result
 
 
+def _wrap_history(history: str, width: int = 88) -> list[str]:
+    """Wrap a one-line textbook history on its op separators."""
+    lines: list[str] = []
+    current = ""
+    for token in history.split("  "):
+        if current and len(current) + 2 + len(token) > width:
+            lines.append(current)
+            current = token
+        else:
+            current = f"{current}  {token}" if current else token
+    if current:
+        lines.append(current)
+    return lines
+
+
 def render_suite_report(result: ChaosSuiteResult) -> str:
     """Deterministic text report of a suite run."""
     lines = ["Chaos suite", "==========="]
@@ -93,6 +108,10 @@ def render_suite_report(result: ChaosSuiteResult) -> str:
         lines.append("  fault plan:")
         for chunk in case.chunks:
             lines.append(f"    {chunk.describe()}")
+        if case.history:
+            lines.append("  execution history (textbook notation):")
+            for text in _wrap_history(case.history):
+                lines.append(f"    {text}")
     for shrink in result.shrinks:
         lines.append("")
         lines.append(

@@ -16,6 +16,12 @@ Commands:
   minimal fault plans for any failures; ``--seeds N`` and ``-j N`` control
   scale (byte-identical report for every job count), ``--ccp NOCC`` points
   the suite at a deliberately broken classroom protocol.
+* ``trace`` — run a traced session and print the causal-span summary:
+  per-phase latency breakdown, orphan count, and the critical path of the
+  slowest committed transaction; ``--txn N`` prints one transaction's span
+  tree instead, ``--out FILE`` exports Chrome trace-event JSON (load it at
+  https://ui.perfetto.dev), ``--csv FILE`` a flat per-span CSV.  Output is
+  fully deterministic (same seed → same bytes).
 * ``panels`` — print the configuration panels of the default instance.
 * ``list`` — list experiments and assignments.
 * ``lint [paths]`` — run rainbow-lint (the AST-based determinism &
@@ -84,13 +90,35 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if run is None:
         print(f"unknown experiment {args.id!r}; try: {', '.join(sorted(EXPERIMENTS))}")
         return 2
+    jobs = args.jobs
+    if args.trace and jobs != 1:
+        # Worker processes would each collect their own tracer registry;
+        # run the sweep serially so every session's spans land in ours.
+        print("note: --trace forces -j 1 (spans are collected in-process)",
+              file=sys.stderr)
+        jobs = 1
     kwargs = {}
     if "n_jobs" in inspect.signature(run).parameters:
-        kwargs["n_jobs"] = args.jobs
-    elif args.jobs != 1:
+        kwargs["n_jobs"] = jobs
+    elif jobs != 1:
         print(f"note: experiment {args.id!r} is not a sweep; running serially",
               file=sys.stderr)
-    table = run(**kwargs)
+    if args.trace:
+        from pathlib import Path
+
+        from repro import obs
+
+        obs.enable_global_tracing()
+        try:
+            table = run(**kwargs)
+            tracers = obs.collected_tracers()
+            Path(args.trace).write_text(obs.tracers_to_chrome_json(tracers))
+        finally:
+            obs.disable_global_tracing()
+        print(f"wrote {args.trace} ({len(tracers)} traced sessions)",
+              file=sys.stderr)
+    else:
+        table = run(**kwargs)
     if args.json:
         print(table.to_json())
     else:
@@ -132,6 +160,81 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}")
     else:
         print(report)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.experiments.common import build_instance
+    from repro.workload.spec import WorkloadSpec
+
+    instance = build_instance(4, 64, 3, seed=args.seed, tracing=True)
+    result = instance.run_workload(
+        WorkloadSpec(
+            n_transactions=args.transactions,
+            arrival="poisson",
+            arrival_rate=0.5,
+            min_ops=3,
+            max_ops=6,
+            read_fraction=0.7,
+        )
+    )
+    tracer = instance.span_tracer
+    stats = result.statistics
+    records = {record.txn_id: record for record in instance.monitor.records}
+
+    if args.txn is not None:
+        if tracer.root(args.txn) is None:
+            traced = ", ".join(str(txn_id) for txn_id in tracer.txn_ids())
+            print(f"no trace for transaction {args.txn}; traced ids: {traced}",
+                  file=sys.stderr)
+            return 2
+        print("\n".join(obs.render_span_tree(tracer, args.txn)))
+        breakdown = obs.txn_phase_breakdown(tracer, args.txn)
+        print()
+        print("phase breakdown (sums to the root span):")
+        for phase in (*obs.PHASES, "other", "total"):
+            print(f"  {phase:<12} {breakdown[phase]:.3f}")
+        record = records.get(args.txn)
+        if record is not None and record.response_time is not None:
+            print(f"  response time {record.response_time:.3f} (OutputStatistics)")
+    else:
+        print(f"traced session: seed {args.seed}, {stats.submitted} submitted, "
+              f"{stats.committed} committed, {stats.aborted} aborted")
+        print(f"spans: {len(tracer.spans)} over {len(tracer.txn_ids())} transactions; "
+              f"orphaned transactions: {stats.orphaned_txns}")
+        if stats.phase_breakdown:
+            print()
+            print("per-phase latency (mean / max per txn):")
+            for phase in obs.PHASES:
+                entry = stats.phase_breakdown.get(phase)
+                if entry is None:
+                    continue
+                print(f"  {phase:<12} {entry['mean_per_txn']:.3f} / "
+                      f"{entry['max_per_txn']:.3f}")
+        committed = [
+            record for record in instance.monitor.records
+            if record.status == "COMMITTED" and record.response_time is not None
+            and tracer.root(record.txn_id) is not None
+        ]
+        if committed:
+            slowest = max(committed, key=lambda r: (r.response_time, r.txn_id))
+            print()
+            print(f"critical path of slowest committed txn {slowest.txn_id} "
+                  f"(response {slowest.response_time:.3f}):")
+            for span, self_time in obs.critical_path(tracer, slowest.txn_id):
+                print(f"  {span.name:<14} @{span.site:<8} self {self_time:.3f}")
+
+    if args.out:
+        from repro.monitor.export import trace_to_chrome_json
+
+        trace_to_chrome_json(tracer.spans, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.csv:
+        from repro.monitor.export import trace_to_csv
+
+        trace_to_csv(tracer.spans, args.csv)
+        print(f"wrote {args.csv}", file=sys.stderr)
     return 0
 
 
@@ -218,8 +321,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         batch_site_ops=args.batch_site_ops,
         piggyback_prepare=args.piggyback_prepare,
         latency_aware_routing=args.latency_aware_routing,
+        trace=args.trace,
     )
     print(render_suite_report(result))
+    if args.trace:
+        from pathlib import Path
+
+        out_dir = Path(args.trace_dir)
+        for case in result.failing():
+            if not case.trace_json:
+                continue
+            out_dir.mkdir(parents=True, exist_ok=True)
+            target = out_dir / f"chaos-trace-seed{case.seed}.json"
+            target.write_text(case.trace_json)
+            print(f"wrote {target}", file=sys.stderr)
     return 0 if result.ok else 1
 
 
@@ -276,6 +391,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the table as JSON instead of fixed-width text",
     )
+    experiment.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="trace every session of the experiment and write one Chrome "
+        "trace-event JSON (forces -j 1)",
+    )
     experiment.set_defaults(fn=_cmd_experiment)
 
     report = commands.add_parser("report", help="run a session, emit a markdown report")
@@ -287,6 +407,20 @@ def build_parser() -> argparse.ArgumentParser:
     classroom = commands.add_parser("classroom", help="run lab assignments")
     classroom.add_argument("name", nargs="?", default=None)
     classroom.set_defaults(fn=_cmd_classroom)
+
+    trace = commands.add_parser(
+        "trace",
+        help="run a traced session: phase breakdown, critical path, Perfetto export",
+    )
+    trace.add_argument("--transactions", type=int, default=60)
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--txn", type=int, default=None, metavar="N",
+                       help="print one transaction's span tree and exact breakdown")
+    trace.add_argument("--out", default=None, metavar="FILE",
+                       help="write Chrome trace-event JSON (Perfetto-loadable)")
+    trace.add_argument("--csv", default=None, metavar="FILE",
+                       help="write a flat per-span CSV")
+    trace.set_defaults(fn=_cmd_trace)
 
     panels = commands.add_parser("panels", help="print the configuration panels")
     panels.set_defaults(fn=_cmd_panels)
@@ -322,6 +456,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rank copy holders by expected network delay")
     chaos.add_argument("--no-shrink", action="store_true",
                        help="skip delta-debugging the failing seeds")
+    chaos.add_argument("--trace", action="store_true",
+                       help="span-trace every case; failing seeds ship a Chrome "
+                       "trace-event JSON next to the shrunk fault plan")
+    chaos.add_argument("--trace-dir", default="chaos-traces", metavar="DIR",
+                       help="directory for per-seed trace JSONs (default: "
+                       "chaos-traces)")
     chaos.set_defaults(fn=_cmd_chaos)
 
     bench = commands.add_parser(

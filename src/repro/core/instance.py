@@ -19,6 +19,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from repro import obs
 from repro.core.config import RainbowConfig
 from repro.errors import ConfigurationError, NetworkError, RpcTimeout
 from repro.monitor.stats import OutputStatistics, ProgressMonitor
@@ -143,6 +144,31 @@ class RainbowInstance:
         )
         self._started = False
         self._session_counter = itertools.count(1)
+        self.span_tracer = None
+        # ``repro experiment --trace``: sweeps build their instances deep
+        # inside experiment modules, so a process-global flag tells every
+        # new instance to enable tracing and register its tracer.
+        if obs.global_tracing_enabled():
+            obs.register_tracer(self.enable_tracing())
+
+    # -- observability ---------------------------------------------------------------
+    def enable_tracing(self):
+        """Turn on causal span tracing for this instance (idempotent).
+
+        Wires one shared :class:`repro.obs.SpanTracer` into the network,
+        every site, and the monitor.  Tracing is purely observational — a
+        traced session produces the same history and statistics as an
+        untraced one — but must be enabled before transactions run for
+        the trace to be complete.
+        """
+        if self.span_tracer is None:
+            tracer = obs.SpanTracer(self.sim)
+            self.span_tracer = tracer
+            self.network.tracer = tracer
+            for site in self.sites.values():
+                site.tracer = tracer
+            self.monitor.span_tracer = tracer
+        return self.span_tracer
 
     # -- coordinator wiring --------------------------------------------------------
     def _coordinate(self, site: Site, txn: Transaction):

@@ -109,6 +109,7 @@ def build_instance(
     latency_aware_routing: bool = False,
     latency: Optional[str] = None,
     latency_params: Optional[dict] = None,
+    tracing: bool = False,
     **config_overrides: Any,
 ) -> RainbowInstance:
     """Build a ready RainbowInstance for an experiment point.
@@ -153,4 +154,7 @@ def build_instance(
         config.gc_timeout = FAILURE_TIMEOUTS["gc_timeout"]
     for key, value in config_overrides.items():
         setattr(config, key, value)
-    return RainbowInstance(config)
+    instance = RainbowInstance(config)
+    if tracing:
+        instance.enable_tracing()
+    return instance

@@ -21,7 +21,7 @@ from __future__ import annotations
 import statistics as stats_lib
 import time
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.net.network import Network
@@ -94,6 +94,15 @@ class OutputStatistics:
     # Both stay 0 (and off the panel) unless the optimizations are enabled.
     round_trips_saved: int = 0
     batched_ops: int = 0
+    # The paper's "number of orphan transactions" from the coordinator's
+    # point of view: transactions whose home site died before a decision
+    # was logged.  (``orphan_events``/``orphans_resolved`` above count the
+    # participant side of the same phenomenon.)
+    orphaned_txns: int = 0
+    # Per-phase latency breakdown (mean/max per finished transaction, by
+    # repro.obs phase taxonomy); populated only when span tracing is on,
+    # so default sessions keep the exact historical panel bytes.
+    phase_breakdown: dict[str, dict[str, float]] = field(default_factory=dict)
     # Simulator self-measurement: how fast the kernel ran this session in
     # real time.  These depend on the host machine — unlike every field
     # above, they are NOT deterministic and are excluded from experiment
@@ -153,6 +162,22 @@ class OutputStatistics:
             ("Orphan transactions (now)", fmt(self.orphans_current)),
             ("Orphan events (cumulative)", fmt(self.orphan_events)),
             ("Orphans resolved", fmt(self.orphans_resolved)),
+        ]
+        # Conditional rows (same byte-identity rule as the optimization
+        # counters): orphaned coordinators only appear in crash sessions,
+        # the phase breakdown only when span tracing was enabled.
+        if self.orphaned_txns:
+            rows.append(("Orphaned transactions (dead coordinator)", fmt(self.orphaned_txns)))
+        if self.phase_breakdown:
+            rows.append(("Per-phase latency (mean/max per txn)", ""))
+            for phase, entry in self.phase_breakdown.items():
+                rows.append(
+                    (
+                        f"  {phase}",
+                        f"{entry['mean_per_txn']:.3f} / {entry['max_per_txn']:.3f}",
+                    )
+                )
+        rows += [
             ("Load imbalance (CV of home txns)", fmt(self.load_imbalance)),
             ("Kernel events processed", fmt(self.processed_events)),
             ("Wall clock (s)", fmt(self.wall_clock_seconds)),
@@ -186,6 +211,11 @@ class ProgressMonitor:
         # Message-economy counters fed by the coordinators.
         self.round_trips_saved = 0
         self.batched_ops = 0
+        # Coordinator-side orphans (txn.orphaned, set on home-site crash).
+        self.orphaned_txns = 0
+        # Span tracer (repro.obs.SpanTracer) when the instance has tracing
+        # enabled; feeds the per-phase latency breakdown.
+        self.span_tracer = None
         self.session_started_at = sim.now
         # Wall-clock/event baselines so the session self-reports simulator
         # performance (events/sec) alongside the paper's statistics.
@@ -260,6 +290,8 @@ class ProgressMonitor:
         else:
             self.aborted += 1
             self.aborts_by_cause[txn.abort_cause or "SYSTEM"] += 1
+            if getattr(txn, "orphaned", False):
+                self.orphaned_txns += 1
 
     # -- sampling ---------------------------------------------------------------
     def _sample_loop(self, interval: float):
@@ -299,6 +331,15 @@ class ProgressMonitor:
         orphan_events = sum(site.stats.orphan_events for site in self.sites)
         orphans_resolved = sum(site.stats.orphans_resolved for site in self.sites)
 
+        phase_breakdown: dict[str, dict[str, float]] = {}
+        if self.span_tracer is not None:
+            from repro.obs.analyze import aggregate_phase_stats
+
+            phase_breakdown = aggregate_phase_stats(
+                self.span_tracer.spans,
+                txn_ids=[record.txn_id for record in self.records],
+            )
+
         return OutputStatistics(
             elapsed=elapsed,
             submitted=self.submitted,
@@ -332,6 +373,8 @@ class ProgressMonitor:
             orphans_current=self._orphans_current(),
             orphan_events=orphan_events,
             orphans_resolved=orphans_resolved,
+            orphaned_txns=self.orphaned_txns,
+            phase_breakdown=phase_breakdown,
             home_txns_by_site=home_by_site,
             messages_handled_by_site=handled_by_site,
             load_imbalance=self._imbalance(list(home_by_site.values())),

@@ -100,6 +100,10 @@ class Message:
     size: int = 1
     msg_id: int = field(default_factory=lambda: next(_message_ids))
     sent_at: float = 0.0
+    # Causal trace context: the sender's active span id, so the network and
+    # the receiving site can parent their spans under the coordinator's.
+    # Stays None whenever tracing is disabled.
+    span: Optional[str] = None
 
     def reply(self, mtype: str, payload: Any = None, size: int = 1) -> "Message":
         """Build the reply message for this request (swaps src/dst)."""
@@ -111,6 +115,7 @@ class Message:
             reply_to=self.msg_id,
             txn_id=self.txn_id,
             size=size,
+            span=self.span,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -162,6 +162,7 @@ class Endpoint:
         reply_to: Optional[int] = None,
         txn_id: Optional[int] = None,
         size: int = 1,
+        span: Optional[str] = None,
     ) -> Message:
         """Fire-and-forget send.  Returns the message (for correlation)."""
         msg = Message(
@@ -172,6 +173,7 @@ class Endpoint:
             reply_to=reply_to,
             txn_id=txn_id,
             size=size,
+            span=span,
         )
         self.network.send(msg)
         return msg
@@ -191,6 +193,7 @@ class Endpoint:
         timeout: float = 50.0,
         txn_id: Optional[int] = None,
         size: int = 1,
+        span: Optional[str] = None,
     ) -> Event:
         """Request/reply exchange with a timeout.
 
@@ -201,7 +204,7 @@ class Endpoint:
         if timeout <= 0:
             raise SimulationError(f"rpc timeout must be positive, got {timeout}")
         result = self.network.sim.event(name=mtype)
-        msg = self.send(dst, mtype, payload, txn_id=txn_id, size=size)
+        msg = self.send(dst, mtype, payload, txn_id=txn_id, size=size, span=span)
         self._pending_rpcs[msg.msg_id] = result
 
         def _expire() -> None:
@@ -268,6 +271,9 @@ class Network:
         #: network-wide rates for messages crossing that link.
         self._flaky_links: dict[frozenset[str], tuple[float, float]] = {}
         self._observers: list[Callable[[Message, str], None]] = []
+        #: Span tracer (``repro.obs.SpanTracer``) set by
+        #: ``RainbowInstance.enable_tracing``; None keeps sends hook-free.
+        self.tracer = None
 
     # -- registration -------------------------------------------------------
     def endpoint(self, host: str, name: str) -> Endpoint:
@@ -414,6 +420,8 @@ class Network:
             stats.queueing_delay_total += queue_wait
             delay += queue_wait
         sim.defer(delay, dst._deliver, msg)
+        if self.tracer is not None and msg.txn_id is not None:
+            self._trace_flight(msg, delay)
         if duplication_rate > 0 and self.rng.random() < duplication_rate:
             # The duplicate draws its own latency (it may overtake the
             # original) and bypasses receiver queueing — it is a transport
@@ -429,7 +437,35 @@ class Network:
     def _account_drop(self, msg: Message, reason: str) -> None:
         self.stats.dropped += 1
         self.stats.dropped_by_type[msg.mtype] += 1
+        if self.tracer is not None and msg.txn_id is not None:
+            now = self.sim.now
+            self.tracer.record(
+                msg.txn_id,
+                msg.src.rsplit("/", 1)[-1],
+                "net.msg",
+                start=now,
+                end=now,
+                parent=msg.span,
+                mtype=msg.mtype,
+                src=msg.src,
+                dst=msg.dst,
+                outcome=reason,
+            )
         self._notify(msg, reason)
+
+    def _trace_flight(self, msg: Message, delay: float) -> None:
+        """Record one delivered message as a complete ``net.msg`` span."""
+        self.tracer.record(
+            msg.txn_id,
+            msg.src.rsplit("/", 1)[-1],
+            "net.msg",
+            start=msg.sent_at,
+            end=msg.sent_at + delay,
+            parent=msg.span,
+            mtype=msg.mtype,
+            src=msg.src,
+            dst=msg.dst,
+        )
 
     def _notify(self, msg: Message, outcome: str) -> None:
         for observer in self._observers:

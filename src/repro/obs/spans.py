@@ -1,0 +1,137 @@
+"""Causal span store for transaction tracing.
+
+A *span* is a named time interval attributed to one transaction at one
+site, optionally nested under a parent span.  The coordinator opens a
+root span per transaction attempt; the replica-control, concurrency-
+control, and atomic-commit layers open children; the network records one
+span per delivered (or dropped) message.  Together they form a causal
+DAG whose root-to-leaf paths explain where a transaction's latency went.
+
+Determinism contract (enforced by rainbow-lint rule RB106): span ids are
+derived purely from ``(txn_id, site, sequence)`` — never from ``id()``,
+RNG draws, or the wall clock — and spans are appended in simulator
+execution order.  Because the kernel schedules deterministically for a
+given seed, the span list (ids, ordering, timestamps) is a pure function
+of the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Span", "SpanTracer"]
+
+
+@dataclass
+class Span:
+    """One named interval in a transaction's causal timeline."""
+
+    span_id: str
+    parent_id: Optional[str]
+    txn_id: int
+    name: str
+    site: str
+    start: float
+    end: Optional[float] = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length; an unfinished span has zero duration."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+
+class SpanTracer:
+    """Collects spans for one simulation session.
+
+    One tracer is shared by the network, every site, and every
+    coordinator context of a :class:`~repro.core.instance.RainbowInstance`
+    (see ``RainbowInstance.enable_tracing``).  Ids follow the scheme
+    ``t{txn_id}:{site}:{seq}`` where ``seq`` is a per-(txn, site) counter,
+    so they are stable across processes and across ``-j N``.
+    """
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.spans: list[Span] = []
+        self._seq: dict[tuple[int, str], int] = {}
+        self._by_id: dict[str, Span] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def _next_id(self, txn_id: int, site: str) -> str:
+        key = (txn_id, site)
+        seq = self._seq.get(key, 0) + 1
+        self._seq[key] = seq
+        return f"t{txn_id}:{site}:{seq}"
+
+    def begin(
+        self,
+        txn_id: int,
+        site: str,
+        name: str,
+        *,
+        parent: Optional[str] = None,
+        start: Optional[float] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span; close it later with :meth:`finish`."""
+        span = Span(
+            span_id=self._next_id(txn_id, site),
+            parent_id=parent,
+            txn_id=txn_id,
+            name=name,
+            site=site,
+            start=self.sim.now if start is None else start,
+            attrs=attrs,
+        )
+        self.spans.append(span)
+        self._by_id[span.span_id] = span
+        return span
+
+    def finish(self, span: Span, end: Optional[float] = None) -> None:
+        """Close an open span at ``end`` (default: simulated now)."""
+        span.end = self.sim.now if end is None else end
+
+    def record(
+        self,
+        txn_id: int,
+        site: str,
+        name: str,
+        *,
+        start: float,
+        end: float,
+        parent: Optional[str] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Record an already-complete span (e.g. a message flight)."""
+        span = self.begin(txn_id, site, name, parent=parent, start=start, **attrs)
+        span.end = end
+        return span
+
+    # -- views -------------------------------------------------------------
+
+    def get(self, span_id: str) -> Optional[Span]:
+        return self._by_id.get(span_id)
+
+    def txn_ids(self) -> list[int]:
+        """Traced transaction ids, ascending."""
+        return sorted({span.txn_id for span in self.spans})
+
+    def txn_spans(self, txn_id: int) -> list[Span]:
+        """All spans of one transaction, in recording order."""
+        return [span for span in self.spans if span.txn_id == txn_id]
+
+    def root(self, txn_id: int) -> Optional[Span]:
+        """The transaction's root (``txn``) span, if it was traced."""
+        for span in self.spans:
+            if span.txn_id == txn_id and span.name == "txn":
+                return span
+        return None
+
+    def children(self, span_id: str) -> list[Span]:
+        """Direct children of a span, in recording order."""
+        return [span for span in self.spans if span.parent_id == span_id]

@@ -46,7 +46,11 @@ class AvailableCopiesController(ReplicationController):
     def do_write(self, ctx, item: str, value: Any) -> Generator:
         spec = ctx.item_spec(item)
         sites = ctx.order_local_first(spec.sites)
-        results = yield from ctx.access_prewrite_many(sites, item, value)
+        wave_span = ctx.begin_span("rcp.wave", sites=",".join(sites))
+        try:
+            results = yield from ctx.access_prewrite_many(sites, item, value)
+        finally:
+            ctx.end_span(wave_span)
         ccp_failures = [r for r in results if not r.ok and r.kind == "ccp"]
         if ccp_failures:
             raise ConcurrencyAbort(

@@ -71,10 +71,14 @@ class QuorumConsensusController(ReplicationController):
                     f"({'; '.join(failures) or 'no holders left'})"
                 )
             remaining = [site for site in remaining if site not in wave]
-            if write:
-                results = yield from ctx.access_prewrite_many(wave, item, value)
-            else:
-                results = yield from ctx.access_read_many(wave, item)
+            wave_span = ctx.begin_span("rcp.wave", sites=",".join(wave))
+            try:
+                if write:
+                    results = yield from ctx.access_prewrite_many(wave, item, value)
+                else:
+                    results = yield from ctx.access_read_many(wave, item)
+            finally:
+                ctx.end_span(wave_span)
             for result in results:
                 if result.ok:
                     gathered.append(result)

@@ -140,6 +140,14 @@ class Site:
         self._txn_home: dict[int, str] = {}
         self._home_ctxs: dict[int, object] = {}
         self.directory: dict[str, str] = {}
+        # Causal tracing (``RainbowInstance.enable_tracing``): the shared
+        # span tracer, plus the parent span id under which the next local
+        # CCP operation of a transaction should nest.  ``local_read`` and
+        # friends keep fixed signatures (``ExecutionTracer`` wraps them),
+        # so the trace context arrives through this side channel instead of
+        # a parameter; per (site, txn) at most one access runs at a time.
+        self.tracer = None
+        self._span_ctx: dict[int, Optional[str]] = {}
         self._start_background()
         self.deadlock_detector = None
         if distributed_deadlock:
@@ -219,6 +227,7 @@ class Site:
         self._activity.clear()
         self._home_ctxs.clear()
         self._txn_home.clear()
+        self._span_ctx.clear()
 
     def recover(self) -> None:
         """Restart from durable state; resolve in-doubt transactions."""
@@ -286,14 +295,18 @@ class Site:
         mtype = msg.mtype
         if mtype == MessageType.READ:
             self._note_home(payload)
+            self._note_span(msg, payload)
             yield from self._handle_read(msg, payload)
         elif mtype == MessageType.PREWRITE:
             self._note_home(payload)
+            self._note_span(msg, payload)
             yield from self._handle_prewrite(msg, payload)
         elif mtype == MessageType.BATCH_ACCESS:
             self._note_home(payload)
+            self._note_span(msg, payload)
             yield from self._handle_batch_access(msg, payload)
         elif mtype == MessageType.VOTE_REQ:
+            self._note_span(msg, payload)
             self._handle_vote_req(msg, payload)
         elif mtype == MessageType.PRECOMMIT:
             self.local_precommit(payload["txn"])
@@ -388,6 +401,7 @@ class Site:
                     write,
                     prepares.get(target),
                     payload.get("home"),
+                    msg.span,
                 ),
                 name=f"site:{self.name}:batch:{target}",
             )
@@ -413,6 +427,7 @@ class Site:
         write: bool,
         prepare: Optional[dict],
         home: Optional[str],
+        span: Optional[str] = None,
     ):
         """One sub-op of a batch, dispatched to self or a same-host sibling."""
         target = self if target_name == self.name else self.colocated.get(target_name)
@@ -425,6 +440,8 @@ class Site:
             }
         if home is not None:
             target._txn_home[txn] = home
+        if target.tracer is not None:
+            target._span_ctx[txn] = span
         entry: dict[str, Any] = {"site": target_name}
         try:
             if write:
@@ -489,14 +506,32 @@ class Site:
         """CCP-mediated read of the local copy (generator)."""
         self._touch(txn)
         self.stats.reads_served += 1
-        result = yield from self.cc.read(txn, ts, item)
+        if self.tracer is None:
+            result = yield from self.cc.read(txn, ts, item)
+            return result
+        span = self.tracer.begin(
+            txn, self.name, "ccp.read", parent=self._span_ctx.get(txn), item=item
+        )
+        try:
+            result = yield from self.cc.read(txn, ts, item)
+        finally:
+            self.tracer.finish(span)
         return result
 
     def local_prewrite(self, txn: int, ts: float, item: str, value: Any):
         """CCP-mediated pre-write of the local copy (generator)."""
         self._touch(txn)
         self.stats.prewrites_served += 1
-        version = yield from self.cc.prewrite(txn, ts, item, value)
+        if self.tracer is None:
+            version = yield from self.cc.prewrite(txn, ts, item, value)
+            return version
+        span = self.tracer.begin(
+            txn, self.name, "ccp.prewrite", parent=self._span_ctx.get(txn), item=item
+        )
+        try:
+            version = yield from self.cc.prewrite(txn, ts, item, value)
+        finally:
+            self.tracer.finish(span)
         return version
 
     def local_prepare(
@@ -513,6 +548,29 @@ class Site:
         Returns ``(vote, reason)``.  A NO vote locally aborts right away
         (the coordinator will abort globally anyway).
         """
+        vote, reason = self._prepare_vote(txn, versions, coordinator, ts, acp, peers)
+        if self.tracer is not None:
+            now = self.sim.now
+            self.tracer.record(
+                txn,
+                self.name,
+                "ccp.prepare",
+                start=now,
+                end=now,
+                parent=self._span_ctx.get(txn),
+                vote=vote,
+            )
+        return vote, reason
+
+    def _prepare_vote(
+        self,
+        txn: int,
+        versions: dict[str, int],
+        coordinator: Optional[str],
+        ts: float,
+        acp: str,
+        peers: Optional[list[str]],
+    ) -> tuple[bool, str]:
         self._touch(txn)
         if self.cc.is_doomed(txn):
             self.cc.abort(txn)
@@ -569,6 +627,7 @@ class Site:
         versions = state.versions if state is not None else {}
         self.cc.commit(txn, versions)
         self._activity.pop(txn, None)
+        self._span_ctx.pop(txn, None)
         self.stats.commits_applied += 1
         if state is not None and state.resolving:
             self.stats.orphans_resolved += 1
@@ -580,6 +639,7 @@ class Site:
             self.wal.log_abort(txn, self.sim.now)
         self.cc.abort(txn)
         self._activity.pop(txn, None)
+        self._span_ctx.pop(txn, None)
         self.stats.aborts_applied += 1
         if state is not None and state.resolving:
             self.stats.orphans_resolved += 1
@@ -739,6 +799,11 @@ class Site:
         home = payload.get("home")
         if home is not None:
             self._txn_home[payload["txn"]] = home
+
+    def _note_span(self, msg: Message, payload: dict) -> None:
+        """Adopt the request's trace context for the txn's next local op."""
+        if self.tracer is not None and "txn" in payload:
+            self._span_ctx[payload["txn"]] = msg.span
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         status = "up" if self.up else "down"

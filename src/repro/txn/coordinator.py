@@ -132,6 +132,55 @@ class TxnContext:
         # here until collect_votes consumes them.
         self._piggyback_armed = False
         self._pending_votes: dict[str, tuple[bool, str]] = {}
+        # Causal tracing: the instance's span tracer (None = tracing off),
+        # the transaction's root span, and the innermost open span.  The
+        # current span's id rides on every outgoing message so network and
+        # site spans nest under the coordinator phase that caused them.
+        self.tracer = getattr(home, "tracer", None)
+        self.root_span = None
+        self.current_span = None
+
+    # -- causal tracing ----------------------------------------------------------
+    def begin_span(self, name: str, **attrs):
+        """Open a child span under the current one; None when tracing is off.
+
+        Returns an opaque token for :meth:`end_span`.  Spans opened through
+        this pair form a stack, so nested protocol layers (an RCP wave
+        inside an op, a vote round inside the ACP) parent correctly.
+        """
+        if self.tracer is None:
+            return None
+        parent = self.current_span or self.root_span
+        span = self.tracer.begin(
+            self.txn.txn_id,
+            self.home.name,
+            name,
+            parent=None if parent is None else parent.span_id,
+            **attrs,
+        )
+        token = (span, self.current_span)
+        self.current_span = span
+        return token
+
+    def end_span(self, token) -> None:
+        """Close a span opened with :meth:`begin_span` (no-op for None)."""
+        if token is None:
+            return
+        span, previous = token
+        self.tracer.finish(span)
+        self.current_span = previous
+
+    def trace_context(self) -> Optional[str]:
+        """Span id to stamp on outgoing messages (None when tracing is off)."""
+        if self.tracer is None:
+            return None
+        active = self.current_span or self.root_span
+        return None if active is None else active.span_id
+
+    def _home_span_ctx(self) -> None:
+        """Hand the active span to the home site before a direct local call."""
+        if self.tracer is not None:
+            self.home._span_ctx[self.txn.txn_id] = self.trace_context()
 
     @property
     def blocked_site(self) -> Optional[str]:
@@ -217,6 +266,7 @@ class TxnContext:
         """Read the copy of ``item`` at ``site`` (generator → AccessResult)."""
         if site == self.home.name:
             self._block_enter(site)
+            self._home_span_ctx()
             try:
                 value, version = yield from self.home.local_read(
                     self.txn.txn_id, self.txn.ts, item
@@ -244,6 +294,7 @@ class TxnContext:
                 request,
                 timeout=self.config.op_timeout,
                 txn_id=self.txn.txn_id,
+                span=self.trace_context(),
             )
         except (RpcTimeout, NetworkError) as failure:
             return AccessResult(False, site, kind="net", reason=str(failure))
@@ -262,6 +313,7 @@ class TxnContext:
         """Pre-write ``item`` at ``site`` (generator → AccessResult)."""
         if site == self.home.name:
             self._block_enter(site)
+            self._home_span_ctx()
             try:
                 version = yield from self.home.local_prewrite(
                     self.txn.txn_id, self.txn.ts, item, value
@@ -290,6 +342,7 @@ class TxnContext:
                 request,
                 timeout=self.config.op_timeout,
                 txn_id=self.txn.txn_id,
+                span=self.trace_context(),
             )
         except (RpcTimeout, NetworkError) as failure:
             return AccessResult(False, site, kind="net", reason=str(failure))
@@ -390,6 +443,7 @@ class TxnContext:
                 timeout=self.config.op_timeout,
                 txn_id=self.txn.txn_id,
                 size=len(group),
+                span=self.trace_context(),
             )
         except (RpcTimeout, NetworkError) as failure:
             return [
@@ -523,12 +577,21 @@ class TxnContext:
         via messages.  A vote that does not arrive within ``vote_timeout``
         counts as NO (the classic timeout action).
         """
+        span = self.begin_span("acp.vote", acp=acp_name)
+        try:
+            result = yield from self._collect_votes(acp_name)
+        finally:
+            self.end_span(span)
+        return result
+
+    def _collect_votes(self, acp_name: str):
         peers = self.participant_addresses()
         remote = []
         all_yes = True
         detail = []
         for participant in sorted(self.participants.values(), key=lambda p: p.site):
             if participant.site == self.home.name:
+                self._home_span_ctx()
                 vote, reason = self.home.local_prepare(
                     self.txn.txn_id,
                     participant.versions,
@@ -568,6 +631,7 @@ class TxnContext:
                     },
                     timeout=self.config.vote_timeout,
                     txn_id=self.txn.txn_id,
+                    span=self.trace_context(),
                 )
                 for participant in remote
             ]
@@ -605,6 +669,15 @@ class TxnContext:
         prepared state and will resolve it through DECISION_REQ.
         Returns the number of participants that acknowledged.
         """
+        name = "acp.precommit" if mtype == MessageType.PRECOMMIT else "acp.decision"
+        span = self.begin_span(name, decision=mtype)
+        try:
+            result = yield from self._broadcast(mtype, retries=retries)
+        finally:
+            self.end_span(span)
+        return result
+
+    def _broadcast(self, mtype: str, *, retries: Optional[int] = None):
         attempts = self.config.ack_retries if retries is None else retries
         acked = 0
         remote = []
@@ -643,6 +716,7 @@ class TxnContext:
                     {"txn": self.txn.txn_id},
                     timeout=self.config.ack_timeout,
                     txn_id=self.txn.txn_id,
+                    span=self.trace_context(),
                 )
                 return True
             except (RpcTimeout, NetworkError):
@@ -670,6 +744,13 @@ class TxnContext:
             self.home.wal.log_end(self.txn.txn_id, self.sim.now)
 
 
+_OP_SPAN_NAMES = {
+    OpKind.READ: "rcp.read",
+    OpKind.WRITE: "rcp.write",
+    OpKind.INCREMENT: "rcp.increment",
+}
+
+
 def run_transaction(ctx: TxnContext):
     """Process one transaction end to end (RCP loop, then ACP).
 
@@ -684,27 +765,52 @@ def run_transaction(ctx: TxnContext):
     txn.status = TxnStatus.RUNNING
     if ctx.monitor is not None:
         ctx.monitor.txn_started(txn)
+    if ctx.tracer is not None:
+        # Root span covers [submission, decision] — exactly the monitor's
+        # response time — so a txn's phase breakdown sums to it.  The time
+        # between submission and this process starting (WLG dispatch, the
+        # TXN_SUBMIT flight) is recorded as a complete "dispatch" child.
+        ctx.root_span = ctx.tracer.begin(
+            txn.txn_id,
+            ctx.home.name,
+            "txn",
+            start=txn.submitted_at,
+            attempt=txn.attempt,
+        )
+        if sim.now > txn.submitted_at:
+            ctx.tracer.record(
+                txn.txn_id,
+                ctx.home.name,
+                "dispatch",
+                start=txn.submitted_at,
+                end=sim.now,
+                parent=ctx.root_span.span_id,
+            )
 
     try:
         final = len(txn.ops) - 1
         for index, op in enumerate(txn.ops):
-            if op.kind == OpKind.READ:
-                if index == final:
-                    ctx.arm_piggyback()
-                txn.reads[op.item] = yield from ctx.rcp.do_read(ctx, op.item)
-            elif op.kind == OpKind.INCREMENT:
-                # Arm only around the write half: preparing a participant
-                # during the read half would freeze its workspace before
-                # the increment's prewrite lands.
-                current = yield from ctx.rcp.do_read(ctx, op.item)
-                txn.reads[op.item] = current
-                if index == final:
-                    ctx.arm_piggyback()
-                yield from ctx.rcp.do_write(ctx, op.item, current + op.value)
-            else:
-                if index == final:
-                    ctx.arm_piggyback()
-                yield from ctx.rcp.do_write(ctx, op.item, op.value)
+            op_span = ctx.begin_span(_OP_SPAN_NAMES[op.kind], item=op.item)
+            try:
+                if op.kind == OpKind.READ:
+                    if index == final:
+                        ctx.arm_piggyback()
+                    txn.reads[op.item] = yield from ctx.rcp.do_read(ctx, op.item)
+                elif op.kind == OpKind.INCREMENT:
+                    # Arm only around the write half: preparing a participant
+                    # during the read half would freeze its workspace before
+                    # the increment's prewrite lands.
+                    current = yield from ctx.rcp.do_read(ctx, op.item)
+                    txn.reads[op.item] = current
+                    if index == final:
+                        ctx.arm_piggyback()
+                    yield from ctx.rcp.do_write(ctx, op.item, current + op.value)
+                else:
+                    if index == final:
+                        ctx.arm_piggyback()
+                    yield from ctx.rcp.do_write(ctx, op.item, op.value)
+            finally:
+                ctx.end_span(op_span)
         yield from ctx.acp.run(ctx)
         txn.status = TxnStatus.COMMITTED
     except CommitAbort as abort:
@@ -718,11 +824,16 @@ def run_transaction(ctx: TxnContext):
         except Interrupt:
             pass  # the home site crashed while cleaning up
     except Interrupt:
+        # The paper's orphan statistic: the coordinator died before a
+        # decision was logged, stranding prepared participants in doubt.
+        txn.orphaned = txn.decided_at is None
         _mark_aborted(txn, None, sim.now, cause="SYSTEM", detail="home site crashed")
     finally:
         txn.finished_at = sim.now
         if txn.decided_at is None:
             txn.decided_at = sim.now
+        if ctx.tracer is not None and ctx.root_span is not None:
+            ctx.tracer.finish(ctx.root_span, end=txn.decided_at)
         if ctx.monitor is not None:
             ctx.monitor.txn_finished(txn, ctx)
     return txn.status

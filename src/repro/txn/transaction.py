@@ -10,12 +10,14 @@ site initiates a two-phase commit session").
 from __future__ import annotations
 
 import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.errors import WorkloadError
 
-__all__ = ["OpKind", "Operation", "TxnStatus", "Transaction", "next_txn_id"]
+__all__ = ["OpKind", "Operation", "TxnStatus", "Transaction", "next_txn_id",
+           "txn_id_scope"]
 
 _txn_ids = itertools.count(1)
 
@@ -23,6 +25,26 @@ _txn_ids = itertools.count(1)
 def next_txn_id() -> int:
     """Globally unique transaction id."""
     return next(_txn_ids)
+
+
+@contextmanager
+def txn_id_scope(start: int = 1):
+    """Allocate txn ids from a fresh counter within the ``with`` block.
+
+    The process-global counter keeps ids unique across every instance in
+    one process — but that makes raw ids depend on what ran earlier, so a
+    self-contained session (one instance, nothing else allocating ids,
+    e.g. a chaos case) scopes itself to get ids that are a pure function
+    of its own seed: identical for every worker placement under ``-j N``.
+    The outer counter is restored on exit.
+    """
+    global _txn_ids
+    saved = _txn_ids
+    _txn_ids = itertools.count(start)
+    try:
+        yield
+    finally:
+        _txn_ids = saved
 
 
 class OpKind:
@@ -107,6 +129,9 @@ class Transaction:
     write_versions: dict[str, int] = field(default_factory=dict)
     attempt: int = 1
     template_id: Optional[int] = None  # stable across restarts
+    # Coordinator died before logging a decision (the paper's "orphan
+    # transactions" statistic); set by run_transaction's crash handler.
+    orphaned: bool = False
 
     def __post_init__(self):
         if not self.ops:

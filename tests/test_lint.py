@@ -21,7 +21,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURES = REPO_ROOT / "tests" / "fixtures" / "lint"
 SRC = REPO_ROOT / "src"
 
-RULE_IDS = ["RB100", "RB101", "RB102", "RB103", "RB104", "RB105"]
+RULE_IDS = ["RB100", "RB101", "RB102", "RB103", "RB104", "RB105", "RB106"]
 
 #: rule -> minimum number of findings its bad fixture must produce.
 EXPECTED_MIN_FINDINGS = {
@@ -31,6 +31,7 @@ EXPECTED_MIN_FINDINGS = {
     "RB103": 2,
     "RB104": 3,
     "RB105": 4,
+    "RB106": 4,
 }
 
 
@@ -170,7 +171,7 @@ def test_missing_path_raises():
 
 def test_rule_catalog_lists_all_stock_rules():
     ids = [row[0] for row in rule_catalog()]
-    assert ids == ["RB101", "RB102", "RB103", "RB104", "RB105"]
+    assert ids == ["RB101", "RB102", "RB103", "RB104", "RB105", "RB106"]
     for _rule_id, name, severity, description in rule_catalog():
         assert name and severity in ("error", "warning") and description
 
@@ -213,7 +214,7 @@ def test_cli_lint_list_rules(capsys):
     code = cli_main(["lint", "--list-rules"])
     out = capsys.readouterr().out
     assert code == 0
-    for rule_id in ("RB101", "RB102", "RB103", "RB104", "RB105"):
+    for rule_id in ("RB101", "RB102", "RB103", "RB104", "RB105", "RB106"):
         assert rule_id in out
 
 

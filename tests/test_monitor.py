@@ -159,3 +159,75 @@ class TestInstanceLevelStatistics:
         assert sum(stats.home_txns_by_site.values()) == 8
         assert stats.round_trips > 0
         assert stats.elapsed > 0
+
+
+class TestStatisticsExportRoundTrip:
+    """statistics_to_json must preserve every counter a session can set."""
+
+    ROUND_TRIP_FIELDS = (
+        "messages_dropped", "messages_lost_random", "messages_duplicated",
+        "round_trips_saved", "batched_ops", "orphaned_txns",
+    )
+
+    def stats_with_extras(self, sim, network):
+        monitor = ProgressMonitor(sim, network)
+        monitor.txn_submitted(finished_txn())
+        monitor.txn_finished(finished_txn())
+        stats = monitor.output_statistics()
+        for index, field in enumerate(self.ROUND_TRIP_FIELDS, start=1):
+            setattr(stats, field, index)
+        stats.phase_breakdown = {
+            "lock_wait": {"mean_per_txn": 1.5, "max_per_txn": 4.0},
+            "network": {"mean_per_txn": 0.25, "max_per_txn": 0.75},
+        }
+        return stats
+
+    def test_json_round_trip_preserves_counters(self, sim, network):
+        import json
+
+        from repro.monitor.export import statistics_to_json
+
+        stats = self.stats_with_extras(sim, network)
+        loaded = json.loads(statistics_to_json(stats))
+        for field in self.ROUND_TRIP_FIELDS:
+            assert loaded[field] == getattr(stats, field), field
+        assert loaded["phase_breakdown"] == stats.phase_breakdown
+        assert loaded["committed"] == 1
+
+    def test_json_round_trip_writes_file(self, sim, network, tmp_path):
+        import json
+
+        from repro.monitor.export import statistics_to_json
+
+        stats = self.stats_with_extras(sim, network)
+        target = tmp_path / "stats.json"
+        statistics_to_json(stats, target)
+        assert json.loads(target.read_text()) == json.loads(
+            statistics_to_json(stats)
+        )
+
+
+class TestOrphanedTxnStatistic:
+    def test_orphaned_abort_counted(self, sim, network):
+        monitor = ProgressMonitor(sim, network)
+        orphan = finished_txn(status=TxnStatus.ABORTED, cause="SYSTEM")
+        orphan.orphaned = True
+        monitor.txn_finished(orphan)
+        monitor.txn_finished(finished_txn(status=TxnStatus.ABORTED, cause="CCP"))
+        stats = monitor.output_statistics()
+        assert stats.orphaned_txns == 1
+
+    def test_panel_row_only_when_nonzero(self, sim, network):
+        monitor = ProgressMonitor(sim, network)
+        monitor.txn_finished(finished_txn())
+        stats = monitor.output_statistics()
+        labels = [label for label, _value in stats.as_rows()]
+        assert "Orphaned transactions (dead coordinator)" not in labels
+        assert "Per-phase latency (mean/max per txn)" not in labels
+        stats.orphaned_txns = 2
+        stats.phase_breakdown = {
+            "vote": {"mean_per_txn": 1.0, "max_per_txn": 2.0}
+        }
+        rows = dict(stats.as_rows())
+        assert rows["Orphaned transactions (dead coordinator)"] == "2"
+        assert rows["  vote"] == "1.000 / 2.000"
